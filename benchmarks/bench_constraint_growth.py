@@ -1,0 +1,103 @@
+"""Experiments C1 + A3 — constraint-size accounting.
+
+Verifies the paper's closed-form sizes at benchmark scale and reports the
+cumulative growth curve (quadratic in depth, linear in W*R and in the
+address/data widths), plus the Section 3 comparison of the hybrid
+(CNF+gate) representation against a purely circuit-based encoding.
+"""
+
+import pytest
+
+from benchmarks import common
+from repro.aig import Aig, CnfEmitter
+from repro.bmc.unroller import Unroller
+from repro.design import Design
+from repro.emm import EmmMemory, accounting
+from repro.sat import Solver
+
+common.table(
+    "C1 — EMM constraint growth (measured vs formula)",
+    ["AW", "DW", "R", "W", "depth", "clauses measured", "clauses formula",
+     "gates measured", "gates formula"],
+    note="formula: ((4m+2n+1)kW + 2n+1)R clauses and 3kWR gates per depth k",
+)
+
+common.table(
+    "A3 — hybrid vs pure-gate encoding (single port)",
+    ["depth", "hybrid clauses+gates", "pure-gate gates",
+     "pure-gate as clauses (x3)"],
+    note="Section 3: hybrid adds (4m+2n+1)k+2n+1 clauses + 3k gates; "
+         "pure circuit needs (4m+2n+2)k+n gates (~3 CNF clauses each)",
+)
+
+
+def build(aw, dw, r_ports, w_ports):
+    d = Design("growth")
+    t = d.latch("t", 2, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", aw, dw, read_ports=r_ports, write_ports=w_ports,
+                   init=None)
+    for w in range(w_ports):
+        mem.write(w).connect(addr=d.input(f"wa{w}", aw),
+                             data=d.input(f"wd{w}", dw),
+                             en=d.input(f"we{w}", 1))
+    for r in range(r_ports):
+        mem.read(r).connect(addr=d.input(f"ra{r}", aw),
+                            en=d.input(f"re{r}", 1))
+    d.invariant("p", mem.read(0).data.ule((1 << dw) - 1))
+    return d
+
+
+CONFIGS = [
+    (4, 4, 1, 1, 12),
+    (6, 8, 1, 1, 12),
+    (4, 4, 2, 1, 12),
+    (4, 4, 1, 2, 12),
+    (10, 32, 3, 1, 8),   # Industry II's port structure at paper widths
+    (10, 8, 1, 1, 10),   # Industry I's memory shape at paper widths
+]
+
+
+@pytest.mark.parametrize("aw,dw,r,w,depth", CONFIGS,
+                         ids=[f"m{c[0]}n{c[1]}R{c[2]}W{c[3]}" for c in CONFIGS])
+def bench_constraint_growth(benchmark, aw, dw, r, w, depth):
+    def run():
+        solver = Solver(proof=False)
+        emitter = CnfEmitter(Aig(), solver)
+        unroller = Unroller(build(aw, dw, r, w), emitter)
+        emm = EmmMemory(solver, unroller, "m", init_consistency=False)
+        for k in range(depth + 1):
+            unroller.add_frame()
+            emm.add_frame(k)
+        return emm.counters
+
+    counters = benchmark.pedantic(run, rounds=1, iterations=1)
+    measured = (counters.addr_eq_clauses + counters.rd_clauses
+                + counters.valid_clauses + counters.init_rd_clauses)
+    formula = accounting.cumulative_clauses(depth, w, r, aw, dw)
+    gates_formula = accounting.cumulative_gates(depth, w, r)
+    assert measured == formula, (measured, formula)
+    assert counters.excl_gates == gates_formula
+    common.add_row("C1 — EMM constraint growth (measured vs formula)",
+                   aw, dw, r, w, depth, measured, formula,
+                   counters.excl_gates, gates_formula)
+
+
+def bench_hybrid_vs_pure_gate(benchmark):
+    aw, dw = 10, 32  # the paper's quicksort array widths
+
+    def run():
+        rows = []
+        for depth in (5, 10, 20, 40):
+            hybrid_clauses = accounting.cumulative_clauses(depth, 1, 1, aw, dw)
+            hybrid_gates = accounting.cumulative_gates(depth, 1, 1)
+            pure = sum(accounting.pure_gate_single_port(k, aw, dw)
+                       for k in range(depth + 1))
+            rows.append((depth, f"{hybrid_clauses}+{hybrid_gates}g",
+                         pure, pure * 3))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for depth, hybrid, pure, pure3 in rows:
+        common.add_row("A3 — hybrid vs pure-gate encoding (single port)",
+                       depth, hybrid, pure, pure3)

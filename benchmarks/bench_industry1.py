@@ -1,0 +1,121 @@
+"""Experiment I1 — Industry Design I: the low-pass image filter.
+
+Paper (in text): 216 reachability properties on a design with two
+AW=10/DW=8 memories; EMM found 206 witnesses (max depth 51) in ~400 s /
+50 MB and proved the remaining 10 by induction in <1 s; explicit modeling
+needed 20 540 s / 912 MB for the witnesses.
+
+Shape to reproduce: the witness/proof split of the property family, EMM
+beating explicit by a large factor on total witness time, and the
+induction proofs being nearly instant.
+"""
+
+import pytest
+
+from benchmarks import common
+from repro.bmc import bmc1, bmc2, bmc3, verify
+from repro.casestudies.image_filter import ImageFilterParams, build_image_filter
+from repro.design import expand_memories
+
+common.table(
+    "Industry I — image filter property family",
+    ["engine", "witnesses", "max depth", "witness time", "proofs",
+     "proof time", "clauses (last run)"],
+    note=("paper: 206/216 witnesses (max depth 51) EMM 400s vs explicit "
+          "20540s; 10 induction proofs <1s"),
+)
+
+if common.is_full():
+    PARAMS = ImageFilterParams(
+        addr_width=5, data_width=8,
+        reachable_values=tuple(range(0, 192, 12)),
+        unreachable_values=(192, 200, 224, 255))
+else:
+    PARAMS = ImageFilterParams(
+        addr_width=3, data_width=8,
+        reachable_values=(0, 17, 64, 120, 191),
+        unreachable_values=(192, 255))
+
+
+def _family(design):
+    wit = sorted(n for n in design.properties if n.startswith("reach_"))
+    prf = sorted(n for n in design.properties if n.startswith("unreach_"))
+    return wit, prf
+
+
+def bench_industry1_emm(benchmark):
+    design = build_image_filter(PARAMS)
+    wit_names, prf_names = _family(design)
+    max_depth = PARAMS.line_width + 3 * (PARAMS.line_width - 2) + 2
+
+    def run():
+        found, deepest, wit_time, prf_time, clauses = 0, 0, 0.0, 0.0, 0
+        for name in wit_names:
+            r = verify(build_image_filter(PARAMS), name,
+                       bmc2(max_depth=max_depth))
+            wit_time += r.stats.wall_time_s
+            clauses = max(clauses, r.stats.sat_clauses)
+            if r.falsified:
+                found += 1
+                deepest = max(deepest, r.depth)
+        proofs = 0
+        for name in prf_names:
+            r = verify(build_image_filter(PARAMS), name,
+                       bmc3(max_depth=20, pba=False))
+            prf_time += r.stats.wall_time_s
+            if r.proved:
+                proofs += 1
+        return found, deepest, wit_time, proofs, prf_time, clauses
+
+    found, deepest, wt, proofs, pt, clauses = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    assert found == len(wit_names)
+    assert proofs == len(prf_names)
+    benchmark.extra_info["witnesses"] = found
+    common.add_row("Industry I — image filter property family",
+                   "EMM", f"{found}/{found + proofs}", deepest,
+                   f"{wt:.1f}s", proofs, f"{pt:.2f}s", clauses)
+
+
+def bench_industry1_explicit(benchmark):
+    design = build_image_filter(PARAMS)
+    wit_names, prf_names = _family(design)
+    # The explicit baseline is the paper's 51x-slower leg; sample the
+    # family instead of sweeping it so the quick tier stays bounded.
+    if not common.is_full():
+        wit_names = wit_names[:3]
+        prf_names = prf_names[:1]
+    max_depth = PARAMS.line_width + 3 * (PARAMS.line_width - 2) + 2
+    budget = common.EXPLICIT_TIMEOUT_S
+
+    def run():
+        found, deepest, wit_time, clauses, timeouts = 0, 0, 0.0, 0, 0
+        for name in wit_names:
+            r = verify(expand_memories(build_image_filter(PARAMS)), name,
+                       bmc1(max_depth=max_depth, pba=False,
+                            find_proof=False, timeout_s=budget))
+            wit_time += r.stats.wall_time_s
+            clauses = max(clauses, r.stats.sat_clauses)
+            if r.falsified:
+                found += 1
+                deepest = max(deepest, r.depth)
+            elif r.status == "timeout":
+                timeouts += 1
+        prf_time = 0.0
+        proofs = 0
+        for name in prf_names:
+            r = verify(expand_memories(build_image_filter(PARAMS)), name,
+                       bmc1(max_depth=20, pba=False, timeout_s=budget))
+            prf_time += r.stats.wall_time_s
+            if r.proved:
+                proofs += 1
+        return found, deepest, wit_time, proofs, prf_time, clauses, timeouts
+
+    found, deepest, wt, proofs, pt, clauses, timeouts = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    label = f"{found}/{len(wit_names) + len(prf_names)} (sampled)"
+    if timeouts:
+        label += f" ({timeouts} timeouts)"
+    common.add_row("Industry I — image filter property family",
+                   "Explicit", label, deepest, f"{wt:.1f}s",
+                   proofs, f"{pt:.2f}s", clauses)

@@ -1,0 +1,90 @@
+"""Experiment S1 — model size and BMC cost vs. memory size.
+
+The paper's core claim, stated in the introduction and visible across
+Tables 1-2: explicit modeling adds ``2**AW * DW`` state bits per memory,
+so BMC cost explodes with memory size, while EMM constraints grow only
+*linearly* with the address width (and quadratically with depth).  The
+paper never plots this directly — its tables fix AW and scale N — so
+this bench sweeps AW at a fixed workload and depth and reports both
+model sizes and solve times.  The shape to reproduce: EMM's clause count
+and runtime stay near-flat; the explicit model's grow with 2**AW.
+"""
+
+import pytest
+
+from benchmarks import common
+from repro.bmc import BmcOptions, verify
+from repro.design import Design, expand_memories
+
+common.table(
+    "S1 — EMM vs Explicit as the memory grows (fixed depth 8)",
+    ["AW", "words", "EMM clauses", "EMM time", "Explicit state bits",
+     "Explicit clauses", "Explicit time"],
+    note="EMM cost is linear in AW; explicit cost is linear in 2**AW "
+         "(the paper's motivation for EMM)",
+)
+
+AWS = [3, 4, 5, 6, 7] if common.is_full() else [3, 4, 5, 6]
+DW = 8
+DEPTH = 8
+
+
+def build(aw: int) -> Design:
+    """Write-pointer walks the table; the checked value is unwritable."""
+    d = Design(f"table_aw{aw}")
+    ptr = d.latch("ptr", aw, init=0)
+    ptr.next = ptr.expr + 1
+    data = d.input("data", DW - 1)     # top data bit not drivable
+    raddr = d.input("raddr", aw)
+    mem = d.memory("table", addr_width=aw, data_width=DW, init=0)
+    mem.write(0).connect(addr=ptr.expr, data=data.zext(DW), en=1)
+    rd = mem.read(0).connect(addr=raddr, en=1)
+    # Unreachable: bit 7 can be neither initial (init=0) nor written.
+    d.reach("impossible", rd.uge(1 << (DW - 1)))
+    return d
+
+
+@pytest.mark.parametrize("aw", AWS, ids=[f"AW{a}" for a in AWS])
+def bench_scaling_aw(benchmark, aw):
+    opts = BmcOptions(find_proof=False, max_depth=DEPTH)
+
+    def run():
+        emm = verify(build(aw), "impossible", opts)
+        explicit = verify(expand_memories(build(aw)), "impossible", opts)
+        return emm, explicit
+
+    emm, explicit = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert emm.status == "bounded"
+    assert explicit.status == "bounded"
+    design = build(aw)
+    explicit_bits = expand_memories(design).num_latch_bits()
+    common.add_row(
+        "S1 — EMM vs Explicit as the memory grows (fixed depth 8)",
+        aw, 1 << aw, emm.stats.sat_clauses,
+        f"{emm.stats.wall_time_s:.2f}s", explicit_bits,
+        explicit.stats.sat_clauses, f"{explicit.stats.wall_time_s:.2f}s")
+    benchmark.extra_info["emm_clauses"] = emm.stats.sat_clauses
+    benchmark.extra_info["explicit_clauses"] = explicit.stats.sat_clauses
+
+
+def bench_scaling_shape(benchmark):
+    """One-shot check of the growth *shape* across the sweep."""
+
+    def run():
+        opts = BmcOptions(find_proof=False, max_depth=DEPTH)
+        rows = []
+        for aw in (AWS[0], AWS[-1]):
+            emm = verify(build(aw), "impossible", opts)
+            explicit = verify(expand_memories(build(aw)), "impossible", opts)
+            rows.append((aw, emm.stats.sat_clauses,
+                         explicit.stats.sat_clauses))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    (aw_lo, emm_lo, exp_lo), (aw_hi, emm_hi, exp_hi) = rows
+    # EMM grows sub-linearly in the word count; explicit roughly with it.
+    words_ratio = (1 << aw_hi) / (1 << aw_lo)
+    assert emm_hi / emm_lo < words_ratio / 2, \
+        f"EMM clauses grew too fast: {emm_lo} -> {emm_hi}"
+    assert exp_hi / exp_lo > words_ratio / 4, \
+        f"explicit clauses grew too slowly: {exp_lo} -> {exp_hi}"

@@ -1,0 +1,78 @@
+"""Experiment T1 — Table 1: quicksort induction proofs, EMM vs explicit.
+
+Paper's Table 1 (array AW=10/DW=32, stack AW=10/DW=24, 2.8 GHz Xeon,
+3-hour limit):
+
+    N  Prop  D   EMM sec  EMM MB   Explicit
+    3  P1    27  64       55       >3hr
+    3  P2    27  30       44       >3hr
+    4  P1    42  601      105      >3hr
+    4  P2    42  453      124      >3hr
+    5  P1    59  6376     423      >3hr
+    5  P2    59  4916     411      >3hr
+
+This reproduction runs the same algorithms at reduced widths (the array
+only holds N elements either way).  The shape to reproduce: EMM proves
+every property by forward induction at a diameter D that grows with N,
+while explicit modeling exhausts its (scaled) time budget.
+"""
+
+import pytest
+
+from benchmarks import common
+from repro.bmc import BmcOptions, bmc1, bmc3, verify
+from repro.casestudies.quicksort import QuicksortParams, build_quicksort
+from repro.design import expand_memories
+
+PAPER = {
+    (3, "P1"): (27, 64), (3, "P2"): (27, 30),
+    (4, "P1"): (42, 601), (4, "P2"): (42, 453),
+    (5, "P1"): (59, 6376), (5, "P2"): (59, 4916),
+}
+
+common.table(
+    "Table 1 — Quick Sort (EMM vs Explicit Modeling)",
+    ["N", "Prop", "paper D", "D", "paper EMM s", "EMM", "EMM clauses",
+     "Explicit", "Explicit clauses"],
+    note=("paper: AW=10/DW=32 on 2.8GHz Xeon, 3h limit; "
+          f"here: reduced widths, {common.EXPLICIT_TIMEOUT_S:.0f}s budget "
+          "standing in for the paper's timeout"),
+)
+
+if common.is_full():
+    CONFIGS = [(3, "P1"), (3, "P2"), (4, "P1"), (4, "P2"), (5, "P1"), (5, "P2")]
+    MAX_DEPTH = 120
+else:
+    CONFIGS = [(2, "P1"), (2, "P2"), (3, "P2")]
+    MAX_DEPTH = 60
+
+
+def params_for(n: int) -> QuicksortParams:
+    return QuicksortParams(n=n, addr_width=3, data_width=3,
+                           stack_addr_width=max(3, (2 * n).bit_length()))
+
+
+@pytest.mark.parametrize("n,prop", CONFIGS, ids=[f"N{n}-{p}" for n, p in CONFIGS])
+def bench_table1(benchmark, n, prop):
+    paper_d, paper_sec = PAPER.get((n, prop), ("-", "-"))
+
+    def run():
+        emm = verify(build_quicksort(params_for(n)), prop,
+                     bmc3(max_depth=MAX_DEPTH, pba=False,
+                          timeout_s=common.EXPLICIT_TIMEOUT_S * 10))
+        explicit = verify(expand_memories(build_quicksort(params_for(n))),
+                          prop,
+                          bmc1(max_depth=MAX_DEPTH, pba=False,
+                               timeout_s=common.EXPLICIT_TIMEOUT_S))
+        return emm, explicit
+
+    emm, explicit = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert emm.proved, emm.describe()
+    benchmark.extra_info["depth"] = emm.depth
+    benchmark.extra_info["emm_status"] = emm.status
+    benchmark.extra_info["explicit_status"] = explicit.status
+    common.add_row(
+        "Table 1 — Quick Sort (EMM vs Explicit Modeling)",
+        n, prop, paper_d, emm.depth, paper_sec, common.fmt_time(emm),
+        emm.stats.sat_clauses, common.fmt_time(explicit),
+        common.fmt_mem(explicit))

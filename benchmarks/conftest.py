@@ -1,0 +1,13 @@
+"""Benchmark session hooks: print the paper-vs-measured report at the end."""
+
+from benchmarks import common
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    text = common.render_all()
+    if text.strip():
+        terminalreporter.write_line("")
+        terminalreporter.write_line(
+            "================ paper-vs-measured report ================")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

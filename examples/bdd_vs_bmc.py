@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""BDD-based model checking vs SAT-based BMC — the platform's two legs.
+
+The paper's verification platform "includes standard verification
+techniques for SAT-based BMC and BDD-based model checking"; Industry
+Design II shows the BDD engine drowning on memory-laden models while
+EMM-based BMC keeps going.  This example demonstrates both outcomes:
+
+1. on a small memory-free control design both engines agree (BDD even
+   reports the exact reachable state count);
+2. on a design with an embedded memory, the explicit expansion blows the
+   BDD node budget while EMM-based BMC proves the property comfortably;
+3. a data-race check rounds out the tooling tour (the paper assumes
+   races are absent — here is how to discharge that assumption).
+
+Run:  python examples/bdd_vs_bmc.py
+"""
+
+from repro.bdd import bdd_model_check
+from repro.bmc import bmc3, verify
+from repro.casestudies.cache import CacheParams, build_cache
+from repro.design import Design, expand_memories
+from repro.emm import find_data_race
+
+
+def control_design() -> Design:
+    d = Design("traffic")
+    tick = d.input("tick", 1)
+    phase = d.latch("phase", 2, init=0)
+    # 0 -> 1 -> 2 -> 0 (state 3 unreachable)
+    phase.next = tick.ite(
+        phase.expr.eq(2).ite(d.const(0, 2), phase.expr + 1), phase.expr)
+    d.invariant("no_phase3", phase.expr.ne(3))
+    return d
+
+
+def main() -> None:
+    print("1) memory-free control design:")
+    d = control_design()
+    r_bdd = bdd_model_check(d, "no_phase3")
+    print(f"   BDD : {r_bdd.describe()}")
+    r_bmc = verify(control_design(), "no_phase3", bmc3(max_depth=10, pba=False))
+    print(f"   BMC : {r_bmc.describe()}")
+    assert r_bdd.proved and r_bmc.proved
+
+    print("\n2) embedded-memory design (cache controller):")
+    cache = build_cache(CacheParams(index_width=2, tag_width=3, data_width=8))
+    explicit = expand_memories(build_cache(
+        CacheParams(index_width=2, tag_width=3, data_width=8)))
+    r_bdd = bdd_model_check(explicit, "read_after_fill", node_limit=50_000)
+    print(f"   BDD on explicit model : {r_bdd.describe()}")
+    r_bmc = verify(cache, "read_after_fill", bmc3(max_depth=10, pba=False))
+    print(f"   EMM-based BMC         : {r_bmc.describe()}")
+    assert r_bdd.status == "limit" and r_bmc.proved
+
+    print("\n3) data-race check on the cache's memories:")
+    for mem in ("tags", "data"):
+        result = find_data_race(build_cache(), mem, max_depth=6)
+        print(f"   {result.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Verilog roundtrip: export a design, re-import it, prove both equal.
+
+The paper's case studies were written in Verilog HDL.  This example
+shows the platform's two HDL ends working together:
+
+1. build the quicksort design (two embedded memories) in the Python IR,
+2. write it out as synthesizable Verilog (``write_verilog``),
+3. parse that text back into a fresh design (``parse_verilog``),
+4. build a *miter* of the two and run bounded equivalence checking —
+   with the original's arbitrary-init array declared to hold the same
+   unknown contents in both copies (equation (6) extended across the
+   miter, ``share_arbitrary_init=True``).
+
+Run:  python examples/verilog_roundtrip.py
+"""
+
+import io
+import time
+
+from repro.casestudies.quicksort import QuicksortParams, build_quicksort
+from repro.design import check_equivalence, parse_verilog, write_verilog
+
+PARAMS = QuicksortParams(n=2, addr_width=3, data_width=3, stack_addr_width=3)
+DEPTH = 12
+
+
+def main() -> None:
+    design = build_quicksort(PARAMS)
+    buf = io.StringIO()
+    write_verilog(buf, design)
+    text = buf.getvalue()
+    print(f"exported {design.name!r}: {len(text.splitlines())} lines of "
+          f"Verilog, {len(design.memories)} memories")
+    print("\n".join(text.splitlines()[:12]))
+    print("  ...")
+
+    parsed = parse_verilog(text)
+    print(f"\nre-imported: {len(parsed.latches)} latches, "
+          f"{len(parsed.memories)} memories, "
+          f"properties {sorted(parsed.properties)}")
+
+    outputs = [
+        (design.latches["pc"].expr, parsed.latches["pc"].expr),
+        (design.latches["sp"].expr, parsed.latches["sp"].expr),
+        (design.latches["pair_ok"].expr, parsed.latches["pair_ok"].expr),
+    ]
+    print(f"\nchecking lock-step equality of pc/sp/pair_ok to depth {DEPTH} "
+          "(shared arbitrary initial memories) ...")
+    t0 = time.monotonic()
+    r = check_equivalence(design, parsed, outputs, max_depth=DEPTH,
+                          share_arbitrary_init=True)
+    print(f"  {r.status} after {r.depth} frames "
+          f"[{time.monotonic() - t0:.1f}s] — the roundtrip preserves "
+          "behaviour" if r.status == "bounded" else f"  DIVERGED: {r.describe()}")
+    assert r.status == "bounded"
+
+
+if __name__ == "__main__":
+    main()

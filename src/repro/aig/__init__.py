@@ -1,0 +1,19 @@
+"""And-Inverter Graph substrate (S2).
+
+The AIG is the "2-input gates" half of the paper's hybrid gate/CNF
+representation: the BMC unroller lowers the word-level design to AIG nodes
+per time frame, EMM exclusivity chains (Section 3 / equation (4)) are built
+as AIG gates, while address-equality and read-data constraints are emitted
+directly as CNF clauses.
+
+Literal convention: an AIG literal is ``2 * node_index + sign``; node 0 is
+the constant, so literal 0 is FALSE and literal 1 is TRUE.
+"""
+
+from repro.aig.aig import Aig, FALSE, TRUE
+from repro.aig.tseitin import CnfEmitter
+from repro.aig.eval import evaluate
+from repro.aig.aiger import write_aag, parse_aag
+
+__all__ = ["Aig", "FALSE", "TRUE", "CnfEmitter", "evaluate",
+           "write_aag", "parse_aag"]

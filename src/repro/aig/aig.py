@@ -1,0 +1,148 @@
+"""Structurally hashed And-Inverter Graph.
+
+Nodes are referenced through integer literals ``2 * index + sign``; the
+constant node has index 0 (literal 0 = FALSE, literal 1 = TRUE).  AND nodes
+are hash-consed with constant folding and input-order canonicalisation, so
+equivalent two-level structures share nodes — this keeps the unrolled BMC
+formula compact, mirroring the simplified circuit representation the
+paper's platform uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+FALSE = 0
+TRUE = 1
+
+
+def lit_not(lit: int) -> int:
+    """Negate an AIG literal."""
+    return lit ^ 1
+
+
+class Aig:
+    """A growing AIG with structural hashing.
+
+    The node table stores, per index, either ``None`` (constant / primary
+    input) or a pair ``(a, b)`` of fanin literals for AND nodes.  Indices
+    are topologically ordered by construction: an AND node's fanins always
+    have smaller indices, which evaluation and CNF emission rely on.
+    """
+
+    def __init__(self) -> None:
+        self._fanins: list[Optional[tuple[int, int]]] = [None]
+        self._input_names: dict[int, str] = {}
+        self._strash: dict[tuple[int, int], int] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def new_input(self, name: str = "") -> int:
+        """Create a primary input; returns its (positive) literal."""
+        idx = len(self._fanins)
+        self._fanins.append(None)
+        if name:
+            self._input_names[idx] = name
+        return idx << 1
+
+    def and_(self, a: int, b: int) -> int:
+        """AND of two literals with folding and structural hashing."""
+        if a == FALSE or b == FALSE or a == lit_not(b):
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE or a == b:
+            return a
+        if a > b:
+            a, b = b, a
+        key = (a, b)
+        hit = self._strash.get(key)
+        if hit is not None:
+            return hit
+        idx = len(self._fanins)
+        self._fanins.append(key)
+        lit = idx << 1
+        self._strash[key] = lit
+        return lit
+
+    def or_(self, a: int, b: int) -> int:
+        return lit_not(self.and_(lit_not(a), lit_not(b)))
+
+    def xor_(self, a: int, b: int) -> int:
+        return self.or_(self.and_(a, lit_not(b)), self.and_(lit_not(a), b))
+
+    def iff_(self, a: int, b: int) -> int:
+        return lit_not(self.xor_(a, b))
+
+    def mux(self, sel: int, t: int, e: int) -> int:
+        """``sel ? t : e``."""
+        if sel == TRUE:
+            return t
+        if sel == FALSE:
+            return e
+        if t == e:
+            return t
+        return self.or_(self.and_(sel, t), self.and_(lit_not(sel), e))
+
+    def implies(self, a: int, b: int) -> int:
+        return self.or_(lit_not(a), b)
+
+    def and_many(self, lits: Iterable[int]) -> int:
+        out = TRUE
+        for l in lits:
+            out = self.and_(out, l)
+        return out
+
+    def or_many(self, lits: Iterable[int]) -> int:
+        out = FALSE
+        for l in lits:
+            out = self.or_(out, l)
+        return out
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count including the constant node."""
+        return len(self._fanins)
+
+    @property
+    def num_ands(self) -> int:
+        return len(self._strash)
+
+    def is_and(self, lit: int) -> bool:
+        return self._fanins[lit >> 1] is not None
+
+    def is_input(self, lit: int) -> bool:
+        idx = lit >> 1
+        return idx != 0 and self._fanins[idx] is None
+
+    def is_const(self, lit: int) -> bool:
+        return lit >> 1 == 0
+
+    def fanins(self, lit: int) -> tuple[int, int]:
+        """Fanin literals of an AND node (raises for non-AND)."""
+        f = self._fanins[lit >> 1]
+        if f is None:
+            raise ValueError(f"literal {lit} is not an AND node")
+        return f
+
+    def input_name(self, lit: int) -> str:
+        return self._input_names.get(lit >> 1, f"n{lit >> 1}")
+
+    def cone_size(self, roots: Iterable[int]) -> int:
+        """Number of AND nodes in the transitive fanin of ``roots``."""
+        seen: set[int] = set()
+        stack = [r >> 1 for r in roots]
+        count = 0
+        while stack:
+            idx = stack.pop()
+            if idx in seen:
+                continue
+            seen.add(idx)
+            f = self._fanins[idx]
+            if f is not None:
+                count += 1
+                stack.append(f[0] >> 1)
+                stack.append(f[1] >> 1)
+        return count

@@ -1,0 +1,132 @@
+"""ASCII AIGER (``aag``) import/export for combinational AIG cones.
+
+The exporter renumbers the cone of the requested outputs into compact
+AIGER literals; the importer rebuilds an :class:`Aig` and returns the
+input/output literal lists.  Handy for dumping BMC frames to external
+tools and for round-trip testing the AIG substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TextIO
+
+from repro.aig.aig import Aig
+
+
+def write_aag(out: TextIO, aig: Aig, inputs: Sequence[int],
+              outputs: Sequence[int], comment: str = "") -> None:
+    """Write the cone of ``outputs`` in aag format.
+
+    ``inputs`` fixes the input ordering; inputs encountered in the cone but
+    not listed are appended after the given ones.
+    """
+    order: dict[int, int] = {}  # AIG node index -> aiger var (1-based)
+    in_list: list[int] = []
+
+    def map_input(idx: int) -> None:
+        if idx not in order:
+            order[idx] = 0  # placeholder; renumbered below
+            in_list.append(idx)
+
+    for lit in inputs:
+        if not aig.is_input(lit):
+            raise ValueError("write_aag inputs must be primary-input literals")
+        map_input(lit >> 1)
+
+    # Topological collection of AND nodes in the cone.
+    ands: list[int] = []
+    seen: set[int] = set(in_list) | {0}
+    stack = [l >> 1 for l in outputs]
+    post: list[int] = []
+    while stack:
+        idx = stack.pop()
+        if idx in seen:
+            continue
+        fan = aig._fanins[idx]
+        if fan is None:
+            map_input(idx)
+            seen.add(idx)
+            continue
+        a, b = fan
+        need = [x >> 1 for x in (a, b) if x >> 1 not in seen]
+        if need:
+            stack.append(idx)
+            stack.extend(need)
+            # Guard against re-processing: mark when both fanins done next visit.
+            continue
+        seen.add(idx)
+        post.append(idx)
+    ands = post
+
+    next_var = 1
+    for idx in in_list:
+        order[idx] = next_var
+        next_var += 1
+    for idx in ands:
+        order[idx] = next_var
+        next_var += 1
+
+    def to_aiger_lit(aig_lit: int) -> int:
+        idx = aig_lit >> 1
+        sign = aig_lit & 1
+        if idx == 0:
+            return sign  # our FALSE is literal 0 = aiger 0; TRUE is 1
+        return order[idx] * 2 + sign
+
+    max_var = next_var - 1
+    out.write(f"aag {max_var} {len(in_list)} 0 {len(outputs)} {len(ands)}\n")
+    for idx in in_list:
+        out.write(f"{order[idx] * 2}\n")
+    for lit in outputs:
+        out.write(f"{to_aiger_lit(lit)}\n")
+    for idx in ands:
+        a, b = aig._fanins[idx]  # type: ignore[misc]
+        la, lb = to_aiger_lit(a), to_aiger_lit(b)
+        if la < lb:
+            la, lb = lb, la
+        out.write(f"{order[idx] * 2} {la} {lb}\n")
+    for i, idx in enumerate(in_list):
+        name = aig.input_name(idx << 1)
+        out.write(f"i{i} {name}\n")
+    if comment:
+        out.write(f"c\n{comment}\n")
+
+
+def parse_aag(text: TextIO | str) -> tuple[Aig, list[int], list[int]]:
+    """Parse aag text; returns ``(aig, input_literals, output_literals)``.
+
+    Latch sections are rejected (this reader covers the combinational
+    subset used by the exporter).
+    """
+    if hasattr(text, "read"):
+        text = text.read()  # type: ignore[union-attr]
+    lines = [l for l in str(text).splitlines() if l.strip()]
+    header = lines[0].split()
+    if header[0] != "aag":
+        raise ValueError("not an ascii aiger (aag) file")
+    _m, n_in, n_latch, n_out, n_and = (int(x) for x in header[1:6])
+    if n_latch:
+        raise ValueError("latches are not supported by this reader")
+    aig = Aig()
+    lit_map: dict[int, int] = {0: 0, 1: 1}
+    pos = 1
+    inputs: list[int] = []
+    for _ in range(n_in):
+        al = int(lines[pos].split()[0])
+        pos += 1
+        lit = aig.new_input()
+        lit_map[al] = lit
+        lit_map[al ^ 1] = lit ^ 1
+        inputs.append(lit)
+    out_aiger: list[int] = []
+    for _ in range(n_out):
+        out_aiger.append(int(lines[pos].split()[0]))
+        pos += 1
+    for _ in range(n_and):
+        lhs, a, b = (int(x) for x in lines[pos].split()[:3])
+        pos += 1
+        lit = aig.and_(lit_map[a], lit_map[b])
+        lit_map[lhs] = lit
+        lit_map[lhs ^ 1] = lit ^ 1
+    outputs = [lit_map[l] for l in out_aiger]
+    return aig, inputs, outputs

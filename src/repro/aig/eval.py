@@ -1,0 +1,67 @@
+"""Constant-time AIG evaluation under a concrete input assignment."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.aig.aig import Aig
+
+
+def evaluate(aig: Aig, inputs: Mapping[int, bool],
+             outputs: Sequence[int]) -> list[bool]:
+    """Evaluate output literals given values for input literals.
+
+    ``inputs`` maps *positive input literals* (as returned by
+    :meth:`Aig.new_input`) to booleans; unlisted inputs default to False.
+    """
+    values: dict[int, bool] = {0: False}
+    for lit, val in inputs.items():
+        if lit & 1:
+            raise ValueError("input keys must be positive literals")
+        values[lit >> 1] = bool(val)
+
+    def node_value(idx: int) -> bool:
+        got = values.get(idx)
+        if got is not None:
+            return got
+        stack = [idx]
+        while stack:
+            top = stack[-1]
+            if top in values:
+                stack.pop()
+                continue
+            fan = aig._fanins[top]
+            if fan is None:
+                values[top] = False  # unconstrained input
+                stack.pop()
+                continue
+            a, b = fan
+            ai, bi = a >> 1, b >> 1
+            if ai not in values:
+                stack.append(ai)
+                continue
+            if bi not in values:
+                stack.append(bi)
+                continue
+            va = values[ai] ^ bool(a & 1)
+            vb = values[bi] ^ bool(b & 1)
+            values[top] = va and vb
+            stack.pop()
+        return values[idx]
+
+    out: list[bool] = []
+    for lit in outputs:
+        v = node_value(lit >> 1)
+        out.append(v ^ bool(lit & 1))
+    return out
+
+
+def evaluate_word(aig: Aig, inputs: Mapping[int, bool],
+                  word: Sequence[int]) -> int:
+    """Evaluate a word (LSB-first literal list) to an unsigned integer."""
+    bits = evaluate(aig, inputs, list(word))
+    value = 0
+    for i, b in enumerate(bits):
+        if b:
+            value |= 1 << i
+    return value

@@ -1,0 +1,129 @@
+"""Word-level operators over AIG literal vectors.
+
+A *word* is a list of AIG literals, least-significant bit first.  These
+helpers are what the design unroller uses to lower word-level RTL
+expressions (adders, comparators, muxes) onto the bit-level AIG.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.aig.aig import Aig, FALSE, TRUE, lit_not
+
+Word = list[int]
+
+
+def const_word(value: int, width: int) -> Word:
+    """Constant word (no AIG nodes needed)."""
+    return [TRUE if (value >> i) & 1 else FALSE for i in range(width)]
+
+
+def input_word(aig: Aig, name: str, width: int) -> Word:
+    """A fresh primary-input word, bit names ``name[i]``."""
+    return [aig.new_input(f"{name}[{i}]") for i in range(width)]
+
+
+def not_word(word: Sequence[int]) -> Word:
+    return [lit_not(b) for b in word]
+
+
+def and_word(aig: Aig, a: Sequence[int], b: Sequence[int]) -> Word:
+    _check(a, b)
+    return [aig.and_(x, y) for x, y in zip(a, b)]
+
+
+def or_word(aig: Aig, a: Sequence[int], b: Sequence[int]) -> Word:
+    _check(a, b)
+    return [aig.or_(x, y) for x, y in zip(a, b)]
+
+
+def xor_word(aig: Aig, a: Sequence[int], b: Sequence[int]) -> Word:
+    _check(a, b)
+    return [aig.xor_(x, y) for x, y in zip(a, b)]
+
+
+def mux_word(aig: Aig, sel: int, t: Sequence[int], e: Sequence[int]) -> Word:
+    """Per-bit ``sel ? t : e``."""
+    _check(t, e)
+    return [aig.mux(sel, x, y) for x, y in zip(t, e)]
+
+
+def eq_word(aig: Aig, a: Sequence[int], b: Sequence[int]) -> int:
+    """Single literal: words are equal."""
+    _check(a, b)
+    return aig.and_many(aig.iff_(x, y) for x, y in zip(a, b))
+
+
+def ne_word(aig: Aig, a: Sequence[int], b: Sequence[int]) -> int:
+    return lit_not(eq_word(aig, a, b))
+
+
+def add_word(aig: Aig, a: Sequence[int], b: Sequence[int],
+             carry_in: int = FALSE) -> Word:
+    """Ripple-carry sum truncated to the operand width."""
+    _check(a, b)
+    out: Word = []
+    carry = carry_in
+    for x, y in zip(a, b):
+        s = aig.xor_(aig.xor_(x, y), carry)
+        carry = aig.or_(aig.and_(x, y), aig.and_(carry, aig.xor_(x, y)))
+        out.append(s)
+    return out
+
+
+def sub_word(aig: Aig, a: Sequence[int], b: Sequence[int]) -> Word:
+    """Two's-complement subtraction ``a - b`` (width-truncated)."""
+    return add_word(aig, a, not_word(b), carry_in=TRUE)
+
+
+def inc_word(aig: Aig, a: Sequence[int]) -> Word:
+    return add_word(aig, a, const_word(1, len(a)))
+
+
+def dec_word(aig: Aig, a: Sequence[int]) -> Word:
+    return sub_word(aig, a, const_word(1, len(a)))
+
+
+def lt_unsigned(aig: Aig, a: Sequence[int], b: Sequence[int]) -> int:
+    """Single literal: ``a < b`` as unsigned integers."""
+    _check(a, b)
+    lt = FALSE
+    for x, y in zip(a, b):  # LSB to MSB; MSB decision dominates
+        bit_lt = aig.and_(lit_not(x), y)
+        bit_eq = aig.iff_(x, y)
+        lt = aig.or_(bit_lt, aig.and_(bit_eq, lt))
+    return lt
+
+
+def le_unsigned(aig: Aig, a: Sequence[int], b: Sequence[int]) -> int:
+    return lit_not(lt_unsigned(aig, b, a))
+
+
+def gt_unsigned(aig: Aig, a: Sequence[int], b: Sequence[int]) -> int:
+    return lt_unsigned(aig, b, a)
+
+
+def ge_unsigned(aig: Aig, a: Sequence[int], b: Sequence[int]) -> int:
+    return lit_not(lt_unsigned(aig, a, b))
+
+
+def is_zero(aig: Aig, a: Sequence[int]) -> int:
+    return aig.and_many(lit_not(b) for b in a)
+
+
+def resize_word(a: Sequence[int], width: int) -> Word:
+    """Zero-extend or truncate to ``width`` bits."""
+    out = list(a[:width])
+    out.extend([FALSE] * (width - len(out)))
+    return out
+
+
+def concat_words(low: Sequence[int], high: Sequence[int]) -> Word:
+    """Concatenate: ``low`` occupies the low bits."""
+    return list(low) + list(high)
+
+
+def _check(a: Sequence[int], b: Sequence[int]) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"width mismatch: {len(a)} vs {len(b)}")

@@ -1,0 +1,129 @@
+"""Lazy Tseitin conversion of AIG cones into a SAT solver.
+
+The emitter maintains a mapping from AIG node index to SAT variable and
+emits the three AND-gate clauses per node the first time a cone needs it.
+Every clause carries the emitter's *current provenance label* — the BMC
+engine switches the label as it emits transition logic, EMM constraints,
+initial-state units and loop-free-path constraints, and proof-based
+abstraction later reads those labels back out of unsat cores.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.aig.aig import Aig
+from repro.sat.solver import Solver
+
+
+class CnfEmitter:
+    """Incrementally emits AIG cones as CNF into a :class:`Solver`."""
+
+    def __init__(self, aig: Aig, solver: Solver) -> None:
+        self.aig = aig
+        self.solver = solver
+        self._var_of: dict[int, int] = {}  # AIG node index -> SAT var
+        self._label: Hashable = None
+        self._const_var: int | None = None
+        #: Count of AND-gate clause triples emitted (for size accounting).
+        self.gates_emitted = 0
+
+    # -- label management -------------------------------------------------
+
+    def set_label(self, label: Hashable) -> None:
+        """Set the provenance label attached to subsequently emitted clauses."""
+        self._label = label
+
+    @property
+    def label(self) -> Hashable:
+        return self._label
+
+    # -- lowering ---------------------------------------------------------
+
+    def sat_lit(self, aig_lit: int) -> int:
+        """SAT literal equisatisfiably representing ``aig_lit``.
+
+        Emits the literal's AND cone on first use.  Constants map to a
+        dedicated always-true variable.
+        """
+        idx = aig_lit >> 1
+        sign = aig_lit & 1
+        if idx == 0:
+            # Node 0 is constant FALSE; its SAT var is asserted true, so
+            # AIG literal 1 (TRUE) maps to +var and literal 0 to -var.
+            var = self._ensure_const()
+            return var if sign else -var
+        var = self._var_of.get(idx)
+        if var is None:
+            self._emit_cone(idx)
+            var = self._var_of[idx]
+        return -var if sign else var
+
+    def sat_word(self, word: Sequence[int]) -> list[int]:
+        return [self.sat_lit(b) for b in word]
+
+    def var_for(self, aig_lit: int) -> int | None:
+        """SAT var already allocated for the literal's node, if any."""
+        return self._var_of.get(aig_lit >> 1)
+
+    def add_clause(self, sat_lits: Sequence[int], label: Hashable = None) -> int:
+        """Add a raw CNF clause (used for the paper's direct-CNF constraints)."""
+        return self.solver.add_clause(sat_lits, label if label is not None else self._label)
+
+    def assert_lit(self, aig_lit: int, label: Hashable = None) -> None:
+        """Assert ``aig_lit`` as a unit clause."""
+        self.add_clause([self.sat_lit(aig_lit)], label)
+
+    # -- internals ---------------------------------------------------------
+
+    def _ensure_const(self) -> int:
+        if self._const_var is None:
+            self._const_var = self.solver.new_var()
+            self.solver.add_clause([self._const_var], ("const",))
+        return self._const_var
+
+    def _emit_cone(self, root_idx: int) -> None:
+        aig = self.aig
+        var_of = self._var_of
+        solver = self.solver
+        label = self._label
+        stack = [root_idx]
+        while stack:
+            idx = stack[-1]
+            if idx in var_of:
+                stack.pop()
+                continue
+            fan = aig._fanins[idx]
+            if fan is None:
+                # Primary input (or free node): plain variable.
+                var_of[idx] = solver.new_var()
+                stack.pop()
+                continue
+            a, b = fan
+            ai, bi = a >> 1, b >> 1
+            missing = False
+            if ai != 0 and ai not in var_of:
+                stack.append(ai)
+                missing = True
+            if bi != 0 and bi not in var_of:
+                stack.append(bi)
+                missing = True
+            if missing:
+                continue
+            stack.pop()
+            v = solver.new_var()
+            var_of[idx] = v
+            la = self._existing_lit(a)
+            lb = self._existing_lit(b)
+            solver.add_clause([-v, la], label)
+            solver.add_clause([-v, lb], label)
+            solver.add_clause([v, -la, -lb], label)
+            self.gates_emitted += 1
+
+    def _existing_lit(self, aig_lit: int) -> int:
+        idx = aig_lit >> 1
+        if idx == 0:
+            var = self._ensure_const()
+            return var if aig_lit & 1 else -var
+        var = self._var_of[idx]
+        return -var if aig_lit & 1 else var

@@ -1,0 +1,21 @@
+"""BDD-based symbolic model checking (substrate S11).
+
+The paper's verification platform "includes standard verification
+techniques for SAT-based BMC and BDD-based model checking", and the
+Industry Design II study reports the BDD engine failing to build the
+transition relation of memory-laden models while succeeding on the
+PBA-reduced ones.  This package provides that engine: a classic
+reduced-ordered BDD manager (unique table + computed table, no
+complement edges) and a forward-reachability invariant checker over
+memory-free designs.
+
+Memories must be expanded (:func:`repro.design.expand_memories`) or
+abstracted away first — which is exactly the paper's point: the explicit
+model blows past any node limit, the reduced model verifies instantly.
+"""
+
+from repro.bdd.manager import BddLimitExceeded, BddManager
+from repro.bdd.reach import BddReachResult, bdd_model_check
+
+__all__ = ["BddManager", "BddLimitExceeded", "bdd_model_check",
+           "BddReachResult"]

@@ -1,0 +1,26 @@
+"""SAT-based Bounded Model Checking engine (substrate S5).
+
+Implements the three algorithms of the paper:
+
+* **BMC-1** (Figure 1) — plain BMC with forward/backward induction
+  termination checks and optional proof-based abstraction, for designs
+  without memories (or with explicitly expanded memories);
+* **BMC-2** (Figure 2) — BMC with EMM constraints, falsification only;
+* **BMC-3** (Figure 3) — BMC with EMM constraints, induction proofs and
+  proof-based abstraction.
+
+All three are served by :class:`repro.bmc.engine.BmcEngine` through
+:class:`repro.bmc.engine.BmcOptions` (``use_emm``, ``find_proof``,
+``pba``); the preset constructors :func:`bmc1`, :func:`bmc2` and
+:func:`bmc3` mirror the paper's figures exactly.
+"""
+
+from repro.bmc.engine import BmcEngine, BmcOptions, bmc1, bmc2, bmc3, verify
+from repro.bmc.results import BmcResult, BmcRunStats
+from repro.bmc.shrink import ShrinkResult, TraceShrinker, shrink_trace
+from repro.bmc.diameter import forward_recurrence_diameter
+
+__all__ = ["BmcEngine", "BmcOptions", "BmcResult", "BmcRunStats",
+           "bmc1", "bmc2", "bmc3", "verify",
+           "ShrinkResult", "TraceShrinker", "shrink_trace",
+           "forward_recurrence_diameter"]

@@ -1,0 +1,313 @@
+"""The BMC engine: Figures 1, 2 and 3 of the paper as one configurable loop.
+
+The engine owns a single incremental SAT solver.  Initial-state clauses
+and loop-free-path clauses carry activation literals (``a_init``,
+``a_lfp``) so the three checks of BMC-3 become assumption sets over the
+same growing CNF:
+
+* forward termination   — assume ``[a_init, a_lfp]``                (line 6)
+* backward termination  — assume ``[a_lfp, P_0..P_{i-1}, !P_i]``    (line 7)
+* falsification         — assume ``[a_init, !P_i]``                 (line 9)
+
+Proof-based abstraction (lines 11-12) reads the provenance labels of the
+unsat core of each falsification check and accumulates latch reasons.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.aig.aig import Aig
+from repro.aig.tseitin import CnfEmitter
+from repro.bmc.counterexample import extract_trace
+from repro.bmc.induction import LoopFreeConstraints
+from repro.bmc.results import BOUNDED, CEX, PROOF, TIMEOUT, BmcResult, BmcRunStats
+from repro.bmc.unroller import Unroller
+from repro.design.netlist import Design
+from repro.emm.forwarding import EmmMemory
+from repro.sat.solver import Solver
+
+
+@dataclass(frozen=True)
+class BmcOptions:
+    """Engine configuration; the presets below match the paper's figures."""
+
+    max_depth: int = 60
+    #: Run the forward/backward induction termination checks (BMC-1/BMC-3).
+    find_proof: bool = True
+    #: Collect unsat-core latch reasons per depth (enables proof logging).
+    pba: bool = False
+    #: Constrain memory reads via EMM.  Must be True when the design has
+    #: memories; explicit baselines expand memories away first.
+    use_emm: bool = True
+    #: EMM exclusive valid-read signals (Section 3 item 3); False = ablation.
+    exclusivity: bool = True
+    #: EMM constraint representation: the paper's "hybrid" CNF+gate
+    #: encoding, or the "gates" purely circuit-based one it compares
+    #: against in Section 3's closing paragraph.
+    emm_encoding: str = "hybrid"
+    #: Equation (6) arbitrary-initial-state consistency; False = ablation.
+    init_consistency: bool = True
+    #: Latch-based abstraction: latches to keep (None = all).
+    kept_latches: Optional[frozenset[str]] = None
+    #: Memory abstraction: memories to keep EMM constraints for (None = all).
+    kept_memories: Optional[frozenset[str]] = None
+    #: Port-level abstraction (Section 4.3): read ports to keep per kept
+    #: memory, e.g. ``{"table": frozenset({0, 2})}``; unlisted memories
+    #: keep all their ports.  Dropped ports' RD words stay free.
+    kept_read_ports: Optional[dict] = None
+    #: Groups of arbitrary-init memories declared to hold the *same*
+    #: unknown initial contents — equation (6) consistency is enforced
+    #: across each group, not just within one memory.  Used by miters
+    #: (:func:`repro.design.equiv.check_equivalence`); all memories in a
+    #: group must share address and data widths.
+    shared_init_memories: tuple[frozenset[str], ...] = ()
+    #: Replay counterexamples on the simulator when the model is concrete.
+    validate_cex: bool = True
+    #: Abort knobs.
+    timeout_s: Optional[float] = None
+    max_conflicts_per_check: Optional[int] = None
+
+
+def bmc1(**kw) -> BmcOptions:
+    """Figure 1: SAT-based BMC with proofs and PBA (no EMM constraints)."""
+    kw.setdefault("use_emm", False)
+    kw.setdefault("find_proof", True)
+    kw.setdefault("pba", True)
+    return BmcOptions(**kw)
+
+
+def bmc2(**kw) -> BmcOptions:
+    """Figure 2: BMC with EMM, falsification only."""
+    kw.setdefault("use_emm", True)
+    kw.setdefault("find_proof", False)
+    kw.setdefault("pba", False)
+    return BmcOptions(**kw)
+
+
+def bmc3(**kw) -> BmcOptions:
+    """Figure 3: BMC with EMM, induction proofs and PBA."""
+    kw.setdefault("use_emm", True)
+    kw.setdefault("find_proof", True)
+    kw.setdefault("pba", True)
+    return BmcOptions(**kw)
+
+
+class BmcEngine:
+    """Verifies one property of one design under one configuration."""
+
+    def __init__(self, design: Design, property_name: str,
+                 options: Optional[BmcOptions] = None) -> None:
+        design.validate()
+        self.design = design
+        self.options = options or BmcOptions()
+        self.prop = design.properties[property_name]
+        if design.memories and not self.options.use_emm:
+            raise ValueError(
+                "design has memories but use_emm=False; expand them first "
+                "(repro.design.expand_memories) for the explicit baseline")
+        need_proof_log = self.options.pba
+        self.solver = Solver(proof=need_proof_log)
+        self.aig = Aig()
+        self.emitter = CnfEmitter(self.aig, self.solver)
+        self.unroller = Unroller(design, self.emitter, self.options.kept_latches)
+        self.a_init = self.solver.new_var()
+        self.a_lfp = self.solver.new_var()
+        self.a_meminit = self.solver.new_var()
+        kept_mems = (frozenset(design.memories)
+                     if self.options.kept_memories is None
+                     else frozenset(self.options.kept_memories))
+        self.kept_memories = kept_mems
+        port_map = self.options.kept_read_ports or {}
+        registries = self._shared_init_registries(kept_mems)
+        if self.options.emm_encoding == "hybrid":
+            emm_class = EmmMemory
+        elif self.options.emm_encoding == "gates":
+            from repro.emm.gates import GateEmmMemory
+            emm_class = GateEmmMemory
+        else:
+            raise ValueError(
+                f"unknown emm_encoding {self.options.emm_encoding!r} "
+                "(expected 'hybrid' or 'gates')")
+        self.emms = {
+            name: emm_class(self.solver, self.unroller, name,
+                            exclusivity=self.options.exclusivity,
+                            init_consistency=self.options.init_consistency,
+                            symbolic_init=self.options.find_proof,
+                            a_meminit=self.a_meminit,
+                            kept_read_ports=port_map.get(name),
+                            init_registry=registries.get(name))
+            for name in sorted(kept_mems)
+        }
+        self.lfp = (LoopFreeConstraints(self.unroller, self.a_lfp)
+                    if self.options.find_proof else None)
+        # P_i literals (the property holding at frame i).
+        self._p_lits: list[int] = []
+        self._lr: list[frozenset[str]] = []
+        self._mr: list[frozenset[str]] = []
+
+    def _shared_init_registries(self, kept_mems: frozenset[str]) -> dict:
+        """One shared fall-through record list per shared-init group."""
+        registries: dict[str, list] = {}
+        for group in self.options.shared_init_memories:
+            widths = set()
+            shared: list = []
+            for name in sorted(group):
+                mem = self.design.memories.get(name)
+                if mem is None:
+                    raise ValueError(f"shared-init memory {name!r} not in design")
+                widths.add((mem.addr_width, mem.data_width))
+                if name in registries:
+                    raise ValueError(f"memory {name!r} is in two shared-init groups")
+                if name in kept_mems:
+                    registries[name] = shared
+            if len(widths) > 1:
+                raise ValueError(
+                    f"shared-init group {sorted(group)} mixes geometries {widths}")
+        return registries
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, stop_check=None) -> BmcResult:
+        """Run the BMC loop up to ``max_depth``; returns a :class:`BmcResult`.
+
+        ``stop_check(engine, depth)`` may end the loop early (status
+        BOUNDED) — the PBA driver uses it to stop once the latch-reason
+        set has been stable for the stability depth.
+        """
+        opts = self.options
+        stats = BmcRunStats()
+        t_start = time.monotonic()
+        budget = opts.max_conflicts_per_check
+        for i in range(opts.max_depth + 1):
+            t_depth = time.monotonic()
+            self._extend(i)
+            if opts.find_proof:
+                r = self.solver.solve(
+                    [self.a_init, self.a_meminit, self.a_lfp], budget)
+                if r.unknown:
+                    return self._finish(TIMEOUT, i, stats, t_start, t_depth)
+                if not r.sat:
+                    return self._finish(PROOF, i, stats, t_start, t_depth,
+                                        method="forward")
+                # Backward induction: arbitrary start state, so neither
+                # a_init nor a_meminit is assumed — the memory fall-through
+                # stays symbolic (Section 4.2).
+                assumps = [self.a_lfp] + self._p_lits[:i] + [-self._p_lits[i]]
+                r = self.solver.solve(assumps, budget)
+                if r.unknown:
+                    return self._finish(TIMEOUT, i, stats, t_start, t_depth)
+                if not r.sat:
+                    return self._finish(PROOF, i, stats, t_start, t_depth,
+                                        method="backward")
+            r = self.solver.solve([self.a_init, self.a_meminit,
+                                   -self._p_lits[i]], budget)
+            if r.unknown:
+                return self._finish(TIMEOUT, i, stats, t_start, t_depth)
+            if r.sat:
+                return self._finish(CEX, i, stats, t_start, t_depth)
+            if opts.pba:
+                self._collect_reasons(i)
+            stats.time_per_depth.append(time.monotonic() - t_depth)
+            if stop_check is not None and stop_check(self, i):
+                return self._finish(BOUNDED, i, stats, t_start, t_depth)
+            if opts.timeout_s is not None and time.monotonic() - t_start > opts.timeout_s:
+                return self._finish(TIMEOUT, i, stats, t_start, t_depth)
+        return self._finish(BOUNDED, opts.max_depth, stats, t_start, t_start)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _extend(self, i: int) -> None:
+        """Unroll frame i and add init / EMM / LFP constraints and P_i."""
+        un = self.unroller
+        un.add_frame()
+        if i == 0:
+            self._add_init_clauses()
+        for emm in self.emms.values():
+            emm.add_frame(i)
+        if self.lfp is not None:
+            self.lfp.add_frame(i)
+        self.emitter.set_label(("gate", i))
+        good = self.unroller.lit(self.prop.expr, i)
+        p_lit = self.emitter.sat_lit(good)
+        if self.prop.kind == "reach":
+            p_lit = -p_lit  # P = "target not yet reached"
+        self._p_lits.append(p_lit)
+
+    def _add_init_clauses(self) -> None:
+        emitter = self.emitter
+        for name in sorted(self.unroller.kept_latches):
+            latch = self.design.latches[name]
+            if latch.init is None:
+                continue  # arbitrary initial value: leave free
+            word = self.unroller.latch_word(name, 0)
+            emitter.set_label(("init", name))
+            for b in range(latch.width):
+                lit = emitter.sat_lit(word[b])
+                bit = (latch.init >> b) & 1
+                emitter.add_clause([-self.a_init, lit if bit else -lit])
+
+    def _collect_reasons(self, i: int) -> None:
+        labels = self.solver.core_labels()
+        latches = frozenset(lab[1] for lab in labels
+                            if isinstance(lab, tuple) and lab[0] in ("init", "link"))
+        mems = frozenset(lab[1] for lab in labels
+                         if isinstance(lab, tuple) and lab[0] == "emm")
+        prev_l = self._lr[-1] if self._lr else frozenset()
+        prev_m = self._mr[-1] if self._mr else frozenset()
+        self._lr.append(prev_l | latches)
+        self._mr.append(prev_m | mems)
+
+    def _finish(self, status: str, depth: int, stats: BmcRunStats,
+                t_start: float, t_depth: float, method: Optional[str] = None
+                ) -> BmcResult:
+        stats.time_per_depth.append(time.monotonic() - t_depth)
+        stats.wall_time_s = time.monotonic() - t_start
+        stats.sat_vars = self.solver.num_vars
+        stats.sat_clauses = self.solver.num_clauses
+        stats.solver = self.solver.stats.snapshot()
+        stats.emm_clauses = sum(e.counters.total_clauses for e in self.emms.values())
+        stats.emm_gates = sum(e.counters.total_gates for e in self.emms.values())
+        stats.emm_vars = sum(e.counters.vars_added for e in self.emms.values())
+        stats.peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        trace = None
+        validated = None
+        if status == CEX:
+            trace, validated = extract_trace(self, depth,
+                                             validate=self.options.validate_cex)
+        return BmcResult(
+            status=status,
+            property_name=self.prop.name,
+            property_kind=self.prop.kind,
+            depth=depth,
+            method=method,
+            trace=trace,
+            trace_validated=validated,
+            latch_reasons=list(self._lr),
+            memory_reasons=list(self._mr),
+            stats=stats,
+        )
+
+    # -- introspection used by the PBA driver and counterexample extraction --
+
+    @property
+    def latch_reasons(self) -> list[frozenset[str]]:
+        return self._lr
+
+    @property
+    def memory_reasons(self) -> list[frozenset[str]]:
+        return self._mr
+
+    def is_concrete(self) -> bool:
+        """True when no latch or memory has been abstracted away."""
+        return (self.unroller.kept_latches == frozenset(self.design.latches)
+                and self.kept_memories == frozenset(self.design.memories))
+
+
+def verify(design: Design, property_name: str,
+           options: Optional[BmcOptions] = None) -> BmcResult:
+    """One-call convenience wrapper: build an engine and run it."""
+    return BmcEngine(design, property_name, options).run()

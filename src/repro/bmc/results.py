@@ -1,0 +1,78 @@
+"""Result and statistics containers for BMC runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.trace import Trace
+
+#: Run outcomes.  For ``invariant`` properties: PROOF means the property
+#: holds in all reachable states; CEX is a counterexample trace.  For
+#: ``reach`` properties the same statuses read as: PROOF = target
+#: unreachable, CEX = witness trace found.
+PROOF = "proof"
+CEX = "cex"
+BOUNDED = "bounded"
+TIMEOUT = "timeout"
+
+
+@dataclass
+class BmcRunStats:
+    """Measured effort of a BMC run (substitute for the paper's sec/MB)."""
+
+    wall_time_s: float = 0.0
+    time_per_depth: list[float] = field(default_factory=list)
+    sat_vars: int = 0
+    sat_clauses: int = 0
+    solver: dict = field(default_factory=dict)
+    emm_clauses: int = 0
+    emm_gates: int = 0
+    emm_vars: int = 0
+    peak_rss_mb: float = 0.0
+
+    def summary(self) -> str:
+        return (f"{self.wall_time_s:.2f}s, {self.sat_vars} vars, "
+                f"{self.sat_clauses} clauses, {self.peak_rss_mb:.0f} MB peak")
+
+
+@dataclass
+class BmcResult:
+    """Outcome of verifying one property with one engine configuration."""
+
+    status: str  # PROOF | CEX | BOUNDED | TIMEOUT
+    property_name: str
+    property_kind: str  # 'invariant' | 'reach'
+    depth: int
+    method: Optional[str] = None  # 'forward' | 'backward' for proofs
+    trace: Optional[Trace] = None
+    trace_validated: Optional[bool] = None
+    #: Accumulated latch reasons LR_i per depth (PBA runs only).
+    latch_reasons: list[frozenset[str]] = field(default_factory=list)
+    #: Memory modules whose EMM constraints appeared in unsat cores, per depth.
+    memory_reasons: list[frozenset[str]] = field(default_factory=list)
+    stats: BmcRunStats = field(default_factory=BmcRunStats)
+
+    @property
+    def proved(self) -> bool:
+        return self.status == PROOF
+
+    @property
+    def falsified(self) -> bool:
+        return self.status == CEX
+
+    def describe(self) -> str:
+        """Human wording adjusted for the property kind."""
+        kind = self.property_kind
+        if self.status == PROOF:
+            what = "unreachable" if kind == "reach" else "proved"
+            return (f"{self.property_name}: {what} by {self.method} induction "
+                    f"at depth {self.depth} ({self.stats.summary()})")
+        if self.status == CEX:
+            what = "witness" if kind == "reach" else "counterexample"
+            return (f"{self.property_name}: {what} of length {self.depth + 1} "
+                    f"({self.stats.summary()})")
+        if self.status == TIMEOUT:
+            return f"{self.property_name}: timeout at depth {self.depth}"
+        return (f"{self.property_name}: no conclusion within bound "
+                f"{self.depth} ({self.stats.summary()})")

@@ -1,0 +1,205 @@
+"""Counterexample minimization by simulator-checked greedy deltas.
+
+BMC counterexamples carry whatever values the SAT solver happened to
+pick: noisy input vectors, irrelevant arbitrary-init latch values, and
+incidental initial memory contents.  This module shrinks a failing trace
+while *preserving the failure*, replaying every candidate simplification
+on the reference simulator:
+
+1. **Input zeroing** — set each input word (per cycle) to zero;
+2. **Init-latch zeroing** — zero the arbitrary-init latch values;
+3. **Memory-content pruning** — drop reconstructed initial memory words
+   (unneeded locations revert to the default);
+4. **Value shrinking** — replace surviving nonzero values by smaller
+   ones (halving), pushing magnitudes toward zero.
+
+The result is a locally-minimal trace: no single remaining simplification
+can be applied without losing the violation.  Deterministic and purely
+simulator-driven — no SAT calls — so it is cheap even for long traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.design.netlist import Design
+from repro.sim.simulator import Simulator
+from repro.sim.trace import Trace
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized counterexample plus bookkeeping."""
+
+    trace: Trace
+    #: Simplifications applied / attempted.
+    applied: int = 0
+    attempted: int = 0
+    #: Final failure cycle (may move earlier during shrinking).
+    failure_cycle: int = 0
+    log: list[str] = field(default_factory=list)
+
+
+class TraceShrinker:
+    """Shrinks one failing trace of one property."""
+
+    def __init__(self, design: Design, property_name: str) -> None:
+        design.validate()
+        self.design = design
+        self.prop = design.properties[property_name]
+
+    # -- failure oracle -----------------------------------------------------
+
+    def fails(self, inputs: list[dict], init_latches: dict,
+              init_memories: dict) -> Optional[int]:
+        """First cycle where the property is violated, or None."""
+        sim = Simulator(self.design, init_latches=init_latches,
+                        init_memories=init_memories)
+        expected_bad = 0 if self.prop.kind == "invariant" else 1
+        for k, vec in enumerate(inputs):
+            sim.begin_cycle(vec)
+            if sim.eval(self.prop.expr) == expected_bad:
+                return k
+            sim.commit_cycle()
+        return None
+
+    # -- the shrink loop ------------------------------------------------------
+
+    def shrink(self, trace: Trace, rounds: int = 3) -> ShrinkResult:
+        """Greedily minimize ``trace``; it must currently fail."""
+        inputs = [dict(c) for c in trace.inputs_sequence()]
+        init_latches = dict(trace.init_latches)
+        init_memories = {m: dict(c) for m, c in trace.init_memories.items()}
+        first = self.fails(inputs, init_latches, init_memories)
+        if first is None:
+            raise ValueError("trace does not violate the property; "
+                             "nothing to shrink")
+        result = ShrinkResult(trace=trace, failure_cycle=first)
+        # Truncate to the failure point immediately: later cycles are noise.
+        inputs = inputs[:first + 1]
+
+        for _ in range(rounds):
+            changed = False
+            changed |= self._zero_inputs(inputs, init_latches, init_memories,
+                                         result)
+            changed |= self._zero_init_latches(inputs, init_latches,
+                                               init_memories, result)
+            changed |= self._prune_memories(inputs, init_latches,
+                                            init_memories, result)
+            changed |= self._shrink_values(inputs, init_latches,
+                                           init_memories, result)
+            if not changed:
+                break
+
+        final = self.fails(inputs, init_latches, init_memories)
+        assert final is not None, "shrinking lost the violation"
+        out = Trace(design_name=trace.design_name)
+        out.init_latches = init_latches
+        out.init_memories = init_memories
+        sim = Simulator(self.design, init_latches=init_latches,
+                        init_memories=init_memories)
+        out.cycles = sim.run(inputs[:final + 1]).cycles
+        result.trace = out
+        result.failure_cycle = final
+        return result
+
+    # -- individual passes ---------------------------------------------------
+
+    def _try(self, inputs, init_latches, init_memories, result) -> bool:
+        result.attempted += 1
+        ok = self.fails(inputs, init_latches, init_memories) is not None
+        if ok:
+            result.applied += 1
+        return ok
+
+    def _zero_inputs(self, inputs, init_latches, init_memories,
+                     result) -> bool:
+        changed = False
+        for k, vec in enumerate(inputs):
+            for name in sorted(vec):
+                if vec[name] == 0:
+                    continue
+                saved = vec[name]
+                vec[name] = 0
+                if self._try(inputs, init_latches, init_memories, result):
+                    changed = True
+                    result.log.append(f"input {name}@{k}: {saved} -> 0")
+                else:
+                    vec[name] = saved
+        return changed
+
+    def _zero_init_latches(self, inputs, init_latches, init_memories,
+                           result) -> bool:
+        changed = False
+        for name in sorted(init_latches):
+            if init_latches[name] == 0:
+                continue
+            saved = init_latches[name]
+            init_latches[name] = 0
+            if self._try(inputs, init_latches, init_memories, result):
+                changed = True
+                result.log.append(f"init latch {name}: {saved} -> 0")
+            else:
+                init_latches[name] = saved
+        return changed
+
+    def _prune_memories(self, inputs, init_latches, init_memories,
+                        result) -> bool:
+        changed = False
+        for mem_name in sorted(init_memories):
+            declared = self.design.memories[mem_name].init_words
+            contents = init_memories[mem_name]
+            for addr in sorted(contents):
+                if addr in declared:
+                    continue  # declared ROM words are part of the design
+                saved = contents.pop(addr)
+                if self._try(inputs, init_latches, init_memories, result):
+                    changed = True
+                    result.log.append(f"{mem_name}[{addr}]: {saved} dropped")
+                else:
+                    contents[addr] = saved
+        return changed
+
+    def _shrink_values(self, inputs, init_latches, init_memories,
+                       result) -> bool:
+        changed = False
+        for k, vec in enumerate(inputs):
+            for name in sorted(vec):
+                changed |= self._halve(vec, name, f"input {name}@{k}",
+                                       inputs, init_latches, init_memories,
+                                       result)
+        for name in sorted(init_latches):
+            changed |= self._halve(init_latches, name, f"init latch {name}",
+                                   inputs, init_latches, init_memories,
+                                   result)
+        for mem_name in sorted(init_memories):
+            contents = init_memories[mem_name]
+            declared = self.design.memories[mem_name].init_words
+            for addr in sorted(contents):
+                if addr in declared:
+                    continue
+                changed |= self._halve(contents, addr,
+                                       f"{mem_name}[{addr}]", inputs,
+                                       init_latches, init_memories, result)
+        return changed
+
+    def _halve(self, container, key, what, inputs, init_latches,
+               init_memories, result) -> bool:
+        changed = False
+        while container[key] > 0:
+            saved = container[key]
+            container[key] = saved // 2
+            if self._try(inputs, init_latches, init_memories, result):
+                changed = True
+                result.log.append(f"{what}: {saved} -> {saved // 2}")
+            else:
+                container[key] = saved
+                break
+        return changed
+
+
+def shrink_trace(design: Design, property_name: str, trace: Trace,
+                 rounds: int = 3) -> ShrinkResult:
+    """One-call convenience wrapper around :class:`TraceShrinker`."""
+    return TraceShrinker(design, property_name).shrink(trace, rounds)

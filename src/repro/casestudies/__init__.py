@@ -1,0 +1,39 @@
+"""The paper's evaluation workloads, rebuilt as parametric designs (S9).
+
+* :mod:`repro.casestudies.quicksort` — the quicksort-in-HDL case study
+  (Table 1 / Table 2): array + recursion-stack memories, properties P1
+  (sortedness of the first two elements) and P2 (stack discipline).
+* :mod:`repro.casestudies.image_filter` — Industry Design I analog: a
+  low-pass image filter with two embedded memories and a generated family
+  of reachability properties.
+* :mod:`repro.casestudies.multiport_soc` — Industry Design II analog: a
+  1-write/3-read-port memory whose write enable can never fire, with
+  unreachable properties and the invariant ``G(WE=0 or WD=0)``.
+* :mod:`repro.casestudies.cpu` — a microcoded accumulator CPU with a
+  program ROM and a data memory; self-checking programs (memcpy, sum,
+  indexed fill) give a second "software program" workload whose
+  correctness proofs need the arbitrary-initial-state machinery.
+* :mod:`repro.casestudies.fifo` / :mod:`repro.casestudies.stack_machine`
+  — small teaching designs used by the quickstart and the test suite.
+"""
+
+from repro.casestudies.quicksort import QuicksortParams, build_quicksort
+from repro.casestudies.image_filter import ImageFilterParams, build_image_filter
+from repro.casestudies.multiport_soc import MultiportSocParams, build_multiport_soc
+from repro.casestudies.fifo import FifoParams, build_fifo
+from repro.casestudies.stack_machine import StackMachineParams, build_stack_machine
+from repro.casestudies.cache import CacheParams, build_cache
+from repro.casestudies.cpu import (CpuParams, assemble, build_cpu,
+                                   indexed_fill_program, memcpy_program,
+                                   sum_program)
+
+__all__ = [
+    "QuicksortParams", "build_quicksort",
+    "ImageFilterParams", "build_image_filter",
+    "MultiportSocParams", "build_multiport_soc",
+    "FifoParams", "build_fifo",
+    "StackMachineParams", "build_stack_machine",
+    "CacheParams", "build_cache",
+    "CpuParams", "assemble", "build_cpu", "memcpy_program", "sum_program",
+    "indexed_fill_program",
+]

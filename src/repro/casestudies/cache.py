@@ -1,0 +1,91 @@
+"""A direct-mapped cache controller — an extra EMM workload.
+
+Not from the paper's evaluation, but exactly the kind of embedded-memory
+system its introduction motivates (SoC data-path blocks): two embedded
+memories (tag array and data array) indexed by the same set bits, a
+valid-bit register file, and hit/miss logic.
+
+Properties:
+
+* ``hit_implies_tag_match`` — when the controller signals a hit, the tag
+  array entry matches the request tag (provable by induction: the tag
+  and valid bit are only ever written together);
+* ``read_after_fill`` — reading a line right after filling it returns
+  the fill data (1-step forwarding, provable);
+* ``reach_hit`` / ``reach_miss`` — both outcomes are exercisable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.design.netlist import Design
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    index_width: int = 2   # log2(number of sets)
+    tag_width: int = 3
+    data_width: int = 8
+
+
+def build_cache(params: CacheParams = CacheParams()) -> Design:
+    p = params
+    iw, tw, dw = p.index_width, p.tag_width, p.data_width
+    d = Design("cache")
+
+    req = d.input("req", 1)             # lookup request
+    fill = d.input("fill", 1)           # fill request (miss handling)
+    addr_tag = d.input("addr_tag", tw)
+    addr_idx = d.input("addr_idx", iw)
+    fill_data = d.input("fill_data", dw)
+
+    # Valid bits live in a register file (they need per-cycle reset
+    # semantics, not memory semantics).
+    valid = d.latch("valid", 1 << iw, init=0)
+
+    tags = d.memory("tags", addr_width=iw, data_width=tw, init=0)
+    data = d.memory("data", addr_width=iw, data_width=dw, init=0)
+
+    do_fill = fill & ~req
+    tags.write(0).connect(addr=addr_idx, data=addr_tag, en=do_fill)
+    data.write(0).connect(addr=addr_idx, data=fill_data, en=do_fill)
+    tag_rd = tags.read(0).connect(addr=addr_idx, en=req)
+    data_rd = data.read(0).connect(addr=addr_idx, en=req)
+
+    # valid[idx] <- 1 on fill (read-modify-write of the bit vector).
+    one_hot = d.const(1, 1 << iw)
+    shifted = one_hot
+    # Build (1 << addr_idx) as a mux chain over the index value.
+    for i in range(1, 1 << iw):
+        shifted = addr_idx.eq(i).ite(d.const(1 << i, 1 << iw), shifted)
+    valid.next = do_fill.ite(valid.expr | shifted, valid.expr)
+
+    valid_bit = d.const(0, 1)
+    for i in range(1 << iw):
+        valid_bit = addr_idx.eq(i).ite(valid.expr[i], valid_bit)
+
+    hit = req & valid_bit & tag_rd.eq(addr_tag)
+    hit_reg = d.latch("hit_reg", 1, init=0)
+    hit_reg.next = hit
+    out_reg = d.latch("out_reg", dw, init=0)
+    out_reg.next = hit.ite(data_rd, out_reg.expr)
+
+    # Shadow registers for read_after_fill.
+    prev_fill = d.latch("prev_fill", 1, init=0)
+    prev_fill.next = do_fill
+    prev_idx = d.latch("prev_idx", iw, init=0)
+    prev_idx.next = do_fill.ite(addr_idx, prev_idx.expr)
+    prev_data = d.latch("prev_data", dw, init=0)
+    prev_data.next = do_fill.ite(fill_data, prev_data.expr)
+    prev_tag = d.latch("prev_tag", tw, init=0)
+    prev_tag.next = do_fill.ite(addr_tag, prev_tag.expr)
+
+    read_back_now = (prev_fill.expr & req & addr_idx.eq(prev_idx.expr)
+                     & addr_tag.eq(prev_tag.expr))
+    d.invariant("read_after_fill",
+                read_back_now.implies(data_rd.eq(prev_data.expr)))
+    d.invariant("hit_implies_tag_match", hit.implies(tag_rd.eq(addr_tag)))
+    d.reach("reach_hit", hit)
+    d.reach("reach_miss", req & ~hit)
+    return d

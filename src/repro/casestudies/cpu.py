@@ -1,0 +1,246 @@
+"""A microcoded accumulator CPU — the "software programs" case study.
+
+The paper verifies software (quicksort) compiled onto an embedded-memory
+substrate.  This module provides a second instance: a small accumulator
+machine with a program ROM and a data memory, both embedded memories:
+
+* ``imem`` — instruction ROM, ``init_words`` holds the program (reads
+  through a dedicated port addressed by ``pc``; never written);
+* ``dmem`` — data memory, 1 read / 1 write port, arbitrary initial
+  contents unless a program seeds them.
+
+Programs are written in a tiny assembly (:func:`assemble`) and verified
+end-to-end: :func:`memcpy_program` copies a block and then *re-walks it
+comparing* — the self-check leaves 1 in ``acc`` — so the correctness
+property ``G(halted -> acc = 1)`` holds for **every** initial memory
+image, exercising the Section 4.2 arbitrary-initial-state machinery on
+real software.  :func:`sum_program` accumulates seeded constants, whose
+final value BMC checks exactly.
+
+Instruction set (op nibble + operand):
+
+====== ===================== =========================================
+op     syntax                semantics
+====== ===================== =========================================
+0      ``NOP``
+1      ``LDI imm``           acc <- imm
+2      ``LDA a``             acc <- dmem[a]
+3      ``STA a``             dmem[a] <- acc
+4      ``ADD a``             acc <- acc + dmem[a]
+5      ``SUB a``             acc <- acc - dmem[a]
+6      ``JMP t``             pc <- t
+7      ``JNZ t``             if acc != 0: pc <- t
+8      ``TAX``               x <- acc
+9      ``LAX``               acc <- dmem[x]
+10     ``SAX``               dmem[x] <- acc
+11     ``INX``               x <- x + 1
+12     ``TXA``               acc <- x
+13     ``HALT``              halted <- 1 (pc freezes)
+====== ===================== =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.design.netlist import Design
+
+OPCODES = {
+    "NOP": 0, "LDI": 1, "LDA": 2, "STA": 3, "ADD": 4, "SUB": 5,
+    "JMP": 6, "JNZ": 7, "TAX": 8, "LAX": 9, "SAX": 10, "INX": 11,
+    "TXA": 12, "HALT": 13,
+}
+
+#: Instructions whose operand field is meaningful.
+_WITH_OPERAND = {"LDI", "LDA", "STA", "ADD", "SUB", "JMP", "JNZ"}
+
+Instruction = Union[str, tuple[str, int]]
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """Geometry knobs.  Data width doubles as the immediate width."""
+
+    pc_width: int = 5       # program ROM address width
+    addr_width: int = 4     # data memory address width
+    data_width: int = 8
+
+    @property
+    def inst_width(self) -> int:
+        return 4 + max(self.addr_width, self.pc_width, self.data_width)
+
+    @property
+    def operand_width(self) -> int:
+        return self.inst_width - 4
+
+
+def assemble(program: Sequence[Instruction],
+             params: CpuParams = CpuParams()) -> dict[int, int]:
+    """Assemble to ``{pc: instruction_word}`` for ``imem.init_words``."""
+    out: dict[int, int] = {}
+    if len(program) > (1 << params.pc_width):
+        raise ValueError(f"program of {len(program)} words does not fit "
+                         f"pc_width {params.pc_width}")
+    for pc, inst in enumerate(program):
+        if isinstance(inst, str):
+            name, operand = inst, 0
+        else:
+            name, operand = inst
+        op = OPCODES.get(name)
+        if op is None:
+            raise ValueError(f"unknown mnemonic {name!r} at {pc}")
+        if name in _WITH_OPERAND:
+            if not 0 <= operand < (1 << params.operand_width):
+                raise ValueError(f"operand {operand} of {name} at {pc} "
+                                 "out of range")
+        elif operand:
+            raise ValueError(f"{name} takes no operand (at {pc})")
+        out[pc] = (op << params.operand_width) | operand
+    return out
+
+
+def build_cpu(program: Sequence[Instruction],
+              params: CpuParams = CpuParams(),
+              dmem_init: Optional[int] = None,
+              dmem_words: Optional[Mapping[int, int]] = None,
+              name: str = "cpu") -> Design:
+    """Build the CPU design with ``program`` in ROM.
+
+    ``dmem_init`` / ``dmem_words`` configure the data memory's initial
+    contents (default: fully arbitrary — the hard case).  Properties
+    attached:
+
+    * ``halts`` (reach) — the program reaches its HALT;
+    * ``halted_acc_one`` (invariant) — when halted, acc == 1 (the
+      self-check convention of :func:`memcpy_program`);
+    * ``pc_in_bounds`` (invariant) — pc never leaves the program.
+    """
+    p = params
+    d = Design(name)
+    code = assemble(program, p)
+
+    pc = d.latch("pc", p.pc_width, init=0)
+    acc = d.latch("acc", p.data_width, init=0)
+    x = d.latch("x", p.addr_width, init=0)
+    halted = d.latch("halted", 1, init=0)
+
+    imem = d.memory("imem", addr_width=p.pc_width, data_width=p.inst_width,
+                    init=OPCODES["HALT"] << p.operand_width,
+                    init_words=code)
+    imem.write(0).connect(addr=d.const(0, p.pc_width),
+                          data=d.const(0, p.inst_width), en=0)
+    inst = imem.read(0).connect(addr=pc.expr, en=1)
+    op = inst[p.operand_width:p.inst_width]
+    operand = inst[0:p.operand_width]
+    op_is = {name: op.eq(code_) for name, code_ in OPCODES.items()}
+
+    dmem = d.memory("dmem", addr_width=p.addr_width, data_width=p.data_width,
+                    init=dmem_init, init_words=dmem_words)
+    addr_op = operand[0:p.addr_width]
+    use_x = op_is["LAX"] | op_is["SAX"]
+    daddr = use_x.ite(x.expr, addr_op)
+    read_needed = (op_is["LDA"] | op_is["ADD"] | op_is["SUB"] | op_is["LAX"])
+    rdata = dmem.read(0).connect(addr=daddr, en=read_needed & ~halted.expr)
+    write_needed = (op_is["STA"] | op_is["SAX"]) & ~halted.expr
+    dmem.write(0).connect(addr=daddr, data=acc.expr, en=write_needed)
+
+    imm = operand[0:p.data_width] if p.operand_width > p.data_width \
+        else operand.zext(p.data_width)
+    x_as_data = x.expr.zext(p.data_width) if p.addr_width < p.data_width \
+        else x.expr[0:p.data_width]
+
+    acc_next = acc.expr
+    acc_next = op_is["LDI"].ite(imm, acc_next)
+    acc_next = (op_is["LDA"] | op_is["LAX"]).ite(rdata, acc_next)
+    acc_next = op_is["ADD"].ite(acc.expr + rdata, acc_next)
+    acc_next = op_is["SUB"].ite(acc.expr - rdata, acc_next)
+    acc_next = op_is["TXA"].ite(x_as_data, acc_next)
+    acc.next = halted.expr.ite(acc.expr, acc_next)
+
+    x_next = x.expr
+    x_next = op_is["TAX"].ite(acc.expr[0:p.addr_width], x_next)
+    x_next = op_is["INX"].ite(x.expr + 1, x_next)
+    x.next = halted.expr.ite(x.expr, x_next)
+
+    target = operand[0:p.pc_width]
+    taken = op_is["JMP"] | (op_is["JNZ"] & acc.expr.ne(0))
+    pc_next = taken.ite(target, pc.expr + 1)
+    pc.next = (halted.expr | op_is["HALT"]).ite(pc.expr, pc_next)
+
+    halted.next = halted.expr | op_is["HALT"]
+
+    d.reach("halts", halted.expr)
+    d.invariant("halted_acc_one",
+                halted.expr.implies(acc.expr.eq(1)))
+    d.invariant("pc_in_bounds", pc.expr.ult(max(len(program), 1)))
+    return d
+
+
+def memcpy_program(n: int, src: int, dst: int,
+                   params: CpuParams = CpuParams()) -> list[Instruction]:
+    """Copy ``n`` words then re-walk both blocks comparing (self-check).
+
+    Ends halted with ``acc == 1`` when the copy verified, which it always
+    does on a correct machine — for **any** initial memory contents.
+    Block layout requirement: ``[src, src+n)`` and ``[dst, dst+n)`` must
+    not overlap.
+    """
+    if n < 1:
+        raise ValueError("need at least one word")
+    if src < dst < src + n or dst < src < dst + n:
+        raise ValueError("memcpy blocks overlap")
+    prog: list[Instruction] = []
+    # Layout: 2n copy words, 3n check words, then LDI 1/HALT (success)
+    # at 5n, and LDI 0/HALT (failure) at 5n+2.
+    fail_target = 5 * n + 2
+    for i in range(n):  # unrolled copy: LDA src+i / STA dst+i
+        prog.append(("LDA", src + i))
+        prog.append(("STA", dst + i))
+    for i in range(n):  # self-check: difference of each pair must be 0
+        prog.append(("LDA", src + i))
+        prog.append(("SUB", dst + i))
+        prog.append(("JNZ", fail_target))
+    prog.append(("LDI", 1))   # all pairs equal
+    prog.append("HALT")
+    prog.append(("LDI", 0))   # fail_target: mismatch found
+    prog.append("HALT")
+    return prog
+
+
+def sum_program(values: Sequence[int], out_addr: int,
+                params: CpuParams = CpuParams()) -> tuple[list[Instruction],
+                                                          dict[int, int], int]:
+    """Sum seeded constants into ``out_addr``.
+
+    Returns ``(program, dmem_words, expected)`` — the data image to pass
+    as ``dmem_words`` and the expected final accumulator value.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    data = {i: v & ((1 << params.data_width) - 1)
+            for i, v in enumerate(values)}
+    prog: list[Instruction] = [("LDA", 0)]
+    for i in range(1, len(values)):
+        prog.append(("ADD", i))
+    prog.append(("STA", out_addr))
+    prog.append("HALT")
+    expected = sum(data.values()) & ((1 << params.data_width) - 1)
+    return prog, data, expected
+
+
+def indexed_fill_program(n: int, base: int, value: int) -> list[Instruction]:
+    """Fill ``n`` words at ``base`` with ``value`` via the X register."""
+    if n < 1:
+        raise ValueError("need at least one word")
+    prog: list[Instruction] = [
+        ("LDI", base),
+        "TAX",
+        ("LDI", value),
+    ]
+    for _ in range(n):
+        prog.append("SAX")
+        prog.append("INX")
+    prog.append(("LDI", 1))
+    prog.append("HALT")
+    return prog

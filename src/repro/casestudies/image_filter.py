@@ -1,0 +1,112 @@
+"""Industry Design I analog: a low-pass image filter with two memories.
+
+The paper's first industrial case study is "a low-pass image filter with
+756 latches, 28 inputs and ~15K gates, two memory modules (AW=10, DW=8,
+one read + one write port each, zero-initialised) and 216 reachability
+properties", of which 206 have witnesses (max depth 51) and 10 are proved
+unreachable by induction.
+
+This analog keeps the exact memory structure — a *line buffer* the pixel
+stream is written into, and an *output buffer* the filtered pixels are
+written into — and generates a parametric family of reachability
+properties over the filtered value:
+
+* ``reach_out_eq_v`` for v ≤ 191 has a witness: the 3-tap average
+  ``(x[k-1] + x[k] + x[k+1]) >> 2`` attains every value up to
+  ``765 >> 2 = 191``;
+* for v ≥ 192 the target is unreachable and provable by backward
+  induction — the paper's 206/10 split in miniature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.design.netlist import Design
+
+INGEST = 0
+FILTER = 1
+DONE = 2
+
+
+@dataclass(frozen=True)
+class ImageFilterParams:
+    """Paper scale is addr_width=10 (1024-pixel lines), data_width=8."""
+
+    addr_width: int = 4
+    data_width: int = 8
+    #: Property family: values sampled for reach_out_eq_<v> properties.
+    reachable_values: tuple[int, ...] = (0, 5, 17, 64, 100, 150, 191)
+    unreachable_values: tuple[int, ...] = (192, 200, 255)
+
+    @property
+    def line_width(self) -> int:
+        return 1 << self.addr_width
+
+    @property
+    def max_filtered(self) -> int:
+        """Largest value the 3-tap filter can produce."""
+        return (3 * ((1 << self.data_width) - 1)) >> 2
+
+
+def build_image_filter(params: ImageFilterParams = ImageFilterParams()) -> Design:
+    p = params
+    aw, dw = p.addr_width, p.data_width
+    width = p.line_width
+    d = Design("image_filter")
+
+    pix_in = d.input("pix_in", dw)
+    probe_addr = d.input("probe_addr", aw)
+
+    pc = d.latch("pc", 2, init=INGEST)
+    win = d.latch("win", aw, init=0)        # ingest write pointer
+    k = d.latch("k", aw, init=1)            # filter output position
+    tap = d.latch("tap", 2, init=0)         # which neighbour is being read
+    acc = d.latch("acc", dw + 2, init=0)    # running 3-tap sum
+    out_val = d.latch("out_val", dw, init=0)
+    out_valid = d.latch("out_valid", 1, init=0)
+
+    linebuf = d.memory("linebuf", addr_width=aw, data_width=dw, init=0)
+    outbuf = d.memory("outbuf", addr_width=aw, data_width=dw, init=0)
+
+    st_ingest = pc.expr.eq(INGEST)
+    st_filter = pc.expr.eq(FILTER)
+    st_done = pc.expr.eq(DONE)
+
+    # Line buffer: written during ingest, read during filtering.
+    tap_addr = tap.expr.eq(0).ite(k.expr - 1,
+                                  tap.expr.eq(1).ite(k.expr, k.expr + 1))
+    line_rd = linebuf.read(0).connect(addr=tap_addr, en=st_filter)
+    linebuf.write(0).connect(addr=win.expr, data=pix_in, en=st_ingest)
+
+    # Output buffer: written when a 3-tap window completes; probe-readable.
+    sum_now = acc.expr + line_rd.zext(dw + 2)
+    filtered = sum_now[2:dw + 2]
+    window_done = st_filter & tap.expr.eq(2)
+    outbuf.write(0).connect(addr=k.expr, data=filtered, en=window_done)
+    probe_rd = outbuf.read(0).connect(addr=probe_addr, en=st_done)
+
+    last_ingest = win.expr.eq(width - 1)
+    last_k = k.expr.eq(width - 2)
+    pc.next = st_ingest.ite(
+        last_ingest.ite(d.const(FILTER, 2), d.const(INGEST, 2)),
+        st_filter.ite(
+            (window_done & last_k).ite(d.const(DONE, 2), d.const(FILTER, 2)),
+            pc.expr))
+    win.next = st_ingest.ite(win.expr + 1, win.expr)
+    tap.next = st_filter.ite(
+        tap.expr.eq(2).ite(d.const(0, 2), tap.expr + 1), tap.expr)
+    k.next = window_done.ite(k.expr + 1, k.expr)
+    acc.next = st_filter.ite(
+        tap.expr.eq(2).ite(d.const(0, dw + 2), sum_now), acc.expr)
+    out_val.next = window_done.ite(filtered, out_val.expr)
+    out_valid.next = window_done.ite(d.const(1, 1), out_valid.expr)
+
+    # -- property family ------------------------------------------------------
+    for v in params.reachable_values:
+        d.reach(f"reach_out_eq_{v}", out_valid.expr & out_val.expr.eq(v & ((1 << dw) - 1)))
+    for v in params.unreachable_values:
+        d.reach(f"unreach_out_eq_{v}", out_valid.expr & out_val.expr.eq(v & ((1 << dw) - 1)))
+    d.reach("reach_done", st_done)
+    d.reach("reach_probe_nonzero", st_done & probe_rd.ne(0))
+    return d

@@ -1,0 +1,109 @@
+"""Industry Design II analog: one memory, 1 write / 3 read ports.
+
+The paper's second industrial case study: a design with 2400 latches and
+one embedded memory (AW=12, DW=32) with one write and three read ports,
+zero-initialised, carrying 8 reachability properties.  Its punchline:
+
+* abstracting the memory away completely produces *spurious witnesses at
+  depth 7* for all properties;
+* with EMM no witness exists up to depth 200, but no proof is found
+  either;
+* the write enable is observed to stay inactive, leading to the invariant
+  ``G(WE = 0 or WD = 0)``, proved by backward induction at depth 2;
+* the invariant implies the read data is always 0, so the memory is
+  replaced by that constraint, PBA shrinks the model, and all 8
+  properties are proved unreachable by forward induction.
+
+The analog reproduces every structural ingredient: a saturating event
+counter that can never overflow gates the error mode; the error mode
+drives both the write enable (one cycle later) and the write-data mux
+(forced to zero unless the error mode was already on), making the paper's
+invariant hold 1-step-inductively; a 3-stage flag pipeline over the OR of
+the three read ports puts the spurious witnesses at the paper's depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.design.netlist import Design
+
+
+@dataclass(frozen=True)
+class MultiportSocParams:
+    """Paper scale is addr_width=12, data_width=32."""
+
+    addr_width: int = 5
+    data_width: int = 8
+    counter_width: int = 4
+    #: Number of reachability properties (paper: 8; mode values 0..n-1).
+    num_properties: int = 8
+
+
+def build_multiport_soc(params: MultiportSocParams = MultiportSocParams()) -> Design:
+    p = params
+    aw, dw, cw = p.addr_width, p.data_width, p.counter_width
+    d = Design("multiport_soc")
+
+    addr_a = d.input("addr_a", aw)
+    addr_b = d.input("addr_b", aw)
+    addr_c = d.input("addr_c", aw)
+    data_in = d.input("data_in", dw)
+    wr_req = d.input("wr_req", 1)
+    tick = d.input("tick", 1)
+    mode_in = d.input("mode_in", 3)
+
+    # Saturating event counter: wraps one short of overflow, so the
+    # "overflow" trigger for the error mode can never fire.
+    cnt = d.latch("cnt", cw, init=0)
+    cnt_max = (1 << cw) - 1
+    cnt.next = tick.ite(
+        cnt.expr.ult(cnt_max - 1).ite(cnt.expr + 1, d.const(0, cw)),
+        cnt.expr)
+    err = d.latch("err", 1, init=0)
+    err.next = err.expr | cnt.expr.eq(cnt_max)
+
+    # Write path: enable and data are registered off the error mode.  WE
+    # can only be 1 if err was on a cycle earlier, in which case WD was
+    # forced to 0 in that same cycle — the paper's G(WE=0 or WD=0).
+    we_reg = d.latch("we_reg", 1, init=0)
+    we_reg.next = err.expr & wr_req
+    wd_reg = d.latch("wd_reg", dw, init=0)
+    wd_reg.next = err.expr.ite(d.const(0, dw), data_in)
+    waddr_reg = d.latch("waddr_reg", aw, init=0)
+    waddr_reg.next = addr_a
+
+    table = d.memory("table", addr_width=aw, data_width=dw,
+                     read_ports=3, write_ports=1, init=0)
+    rd0 = table.read(0).connect(addr=addr_a, en=1)
+    rd1 = table.read(1).connect(addr=addr_b, en=1)
+    rd2 = table.read(2).connect(addr=addr_c, en=1)
+    table.write(0).connect(addr=waddr_reg.expr, data=wd_reg.expr,
+                           en=we_reg.expr)
+
+    # Detection pipeline: three registered stages over "any read nonzero",
+    # placing the (spurious, under naive abstraction) witnesses at depth 7.
+    hit = rd0.ne(0) | rd1.ne(0) | rd2.ne(0)
+    s1 = d.latch("s1", 1, init=0)
+    s2 = d.latch("s2", 1, init=0)
+    s3 = d.latch("s3", 1, init=0)
+    s1.next = hit
+    s2.next = s1.expr
+    s3.next = s2.expr
+    mode = d.latch("mode", 3, init=0)
+    mode.next = mode_in
+    mode_hold = d.latch("mode_hold", 3, init=0)
+    mode_hold.next = mode.expr
+    armed = d.latch("armed", 1, init=0)
+    armed.next = d.const(1, 1)
+    stage4 = d.latch("stage4", 1, init=0)
+    stage4.next = s3.expr & armed.expr
+
+    # -- the 8 reachability properties (all unreachable) -------------------
+    for m in range(p.num_properties):
+        d.reach(f"alarm_mode_{m}", stage4.expr & mode_hold.expr.eq(m))
+
+    # -- the paper's invariant ----------------------------------------------
+    d.invariant("we_or_wd_zero",
+                we_reg.expr.eq(0) | wd_reg.expr.eq(0))
+    return d

@@ -1,0 +1,248 @@
+"""The quicksort case study (paper Section 5, Tables 1 and 2).
+
+An iterative quicksort (Lomuto partition) over an embedded array memory,
+with recursion realised through an explicit stack memory — the same two
+memories as the paper's Verilog implementation (array AW=10/DW=32, stack
+AW=10/DW=24; both widths are parameters here).  The array starts with
+*arbitrary* values, exercising the Section 4.2 machinery.
+
+Design decisions that mirror the paper's observed behaviour:
+
+* **Registered memory interfaces.**  Each memory port is driven by
+  dedicated interface registers (``arr_raddr``, ``arr_we`` …).  The
+  control latches of the array are therefore exactly those registers, so
+  proof-based abstraction can discard the whole array module for a
+  property that never needs array data — the Table 2 result.
+* **Data-independent control flow.**  The FSM always walks the same state
+  sequence per partition step; comparisons with the pivot only steer
+  *which data* is written, never *which state* comes next.  Hence the
+  program counter (and the stack discipline) provably do not depend on
+  array contents.
+* **Stack frames carry their own depth.**  A pushed frame records the
+  stack pointer at push time; property P2 checks on every dispatch that
+  the popped frame's depth field equals the post-pop stack pointer — the
+  stack-discipline analog of the paper's "return to the right partition
+  or to the parent" property, and like it, it depends only on the stack.
+
+Properties:
+
+* ``P1`` — when the checker has run (HALT state), the first element of
+  the sorted array is not greater than the second.
+* ``P2`` — on every dispatch, the popped frame's depth equals the stack
+  pointer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.design.netlist import Design, Expr
+
+# FSM states.
+INIT = 0
+POP = 1
+DISPATCH = 2
+PIVOT_WAIT = 3
+READ_J = 4
+READ_I = 5
+WRITE_J = 6
+PAUSE = 7
+FINAL_READ_I = 8
+FINAL_READ_HI = 9
+PUSH_RIGHT = 10
+PUSH_LEFT = 11
+CHECK_REQ = 12
+CHECK_WAIT0 = 13
+CHECK_WAIT1 = 14
+HALT = 15
+
+STATE_NAMES = {
+    INIT: "INIT", POP: "POP", DISPATCH: "DISPATCH", PIVOT_WAIT: "PIVOT_WAIT",
+    READ_J: "READ_J", READ_I: "READ_I", WRITE_J: "WRITE_J", PAUSE: "PAUSE",
+    FINAL_READ_I: "FINAL_READ_I", FINAL_READ_HI: "FINAL_READ_HI",
+    PUSH_RIGHT: "PUSH_RIGHT", PUSH_LEFT: "PUSH_LEFT", CHECK_REQ: "CHECK_REQ",
+    CHECK_WAIT0: "CHECK_WAIT0", CHECK_WAIT1: "CHECK_WAIT1", HALT: "HALT",
+}
+
+
+@dataclass(frozen=True)
+class QuicksortParams:
+    """Size knobs; the paper's configuration is AW=10, DW=32, stack DW=24."""
+
+    n: int = 3               # number of array elements actually sorted
+    addr_width: int = 4      # array address width (AW)
+    data_width: int = 8      # array data width (DW)
+    stack_addr_width: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("need at least 2 elements")
+        if self.n + 1 >= (1 << self.addr_width):
+            raise ValueError("addr_width too small for n (need headroom for i+1)")
+        if 2 * self.n >= (1 << self.stack_addr_width):
+            raise ValueError("stack_addr_width too small for n")
+
+    @property
+    def frame_width(self) -> int:
+        """Stack frame: lo | hi | depth."""
+        return 2 * self.addr_width + self.stack_addr_width
+
+
+def build_quicksort(params: QuicksortParams = QuicksortParams()) -> Design:
+    """Build the quicksort design; properties ``P1`` and ``P2`` attached."""
+    p = params
+    aw, dw, saw = p.addr_width, p.data_width, p.stack_addr_width
+    fw = p.frame_width
+    d = Design(f"quicksort_n{p.n}")
+
+    pc = d.latch("pc", 4, init=INIT)
+    lo = d.latch("lo", aw, init=0)
+    hi = d.latch("hi", aw, init=0)
+    i_reg = d.latch("i", aw, init=0)
+    j_reg = d.latch("j", aw, init=0)
+    pivot = d.latch("pivot", dw, init=0)
+    tmp_j = d.latch("tmp_j", dw, init=0)   # holds arr[j] during a step
+    tmp_i = d.latch("tmp_i", dw, init=0)   # holds arr[i] / checker element
+    sp = d.latch("sp", saw, init=0)
+    flag_valid = d.latch("flag_valid", 1, init=0)
+    pair_ok = d.latch("pair_ok", 1, init=0)
+
+    # Dedicated interface registers: the memories' control latches.
+    arr_raddr = d.latch("arr_raddr", aw, init=0)
+    arr_re = d.latch("arr_re", 1, init=0)
+    arr_waddr = d.latch("arr_waddr", aw, init=0)
+    arr_wdata = d.latch("arr_wdata", dw, init=0)
+    arr_we = d.latch("arr_we", 1, init=0)
+    stk_raddr = d.latch("stk_raddr", saw, init=0)
+    stk_re = d.latch("stk_re", 1, init=0)
+    stk_waddr = d.latch("stk_waddr", saw, init=0)
+    stk_wdata = d.latch("stk_wdata", fw, init=0)
+    stk_we = d.latch("stk_we", 1, init=0)
+
+    arr = d.memory("arr", addr_width=aw, data_width=dw, init=None)
+    stk = d.memory("stack", addr_width=saw, data_width=fw, init=None)
+    arr_rd = arr.read(0).connect(addr=arr_raddr.expr, en=arr_re.expr)
+    arr.write(0).connect(addr=arr_waddr.expr, data=arr_wdata.expr, en=arr_we.expr)
+    stk_rd = stk.read(0).connect(addr=stk_raddr.expr, en=stk_re.expr)
+    stk.write(0).connect(addr=stk_waddr.expr, data=stk_wdata.expr, en=stk_we.expr)
+
+    # Frame packing helpers.
+    def frame(lo_e: Expr, hi_e: Expr, depth_e: Expr) -> Expr:
+        return lo_e.concat(hi_e).concat(depth_e)
+
+    f_lo = stk_rd[0:aw]
+    f_hi = stk_rd[aw:2 * aw]
+    f_depth = stk_rd[2 * aw:fw]
+
+    st = {s: pc.expr.eq(s) for s in STATE_NAMES}
+    swap = tmp_j.expr.ult(pivot.expr)
+    last_iter = j_reg.expr.eq(hi.expr - 1)
+    i_next_loop = swap.ite(i_reg.expr + 1, i_reg.expr)
+
+    # -- program counter ---------------------------------------------------
+    nxt = d.const(HALT, 4)
+
+    def when(cond: Expr, value, els) -> Expr:
+        return cond.ite(d.coerce(value, 4), els)
+
+    nxt = when(st[INIT], POP, nxt)
+    nxt = when(st[POP], sp.expr.eq(0).ite(d.const(CHECK_REQ, 4), d.const(DISPATCH, 4)), nxt)
+    nxt = when(st[DISPATCH], f_lo.uge(f_hi).ite(d.const(POP, 4), d.const(PIVOT_WAIT, 4)), nxt)
+    nxt = when(st[PIVOT_WAIT], READ_J, nxt)
+    nxt = when(st[READ_J], READ_I, nxt)
+    nxt = when(st[READ_I], WRITE_J, nxt)
+    nxt = when(st[WRITE_J], last_iter.ite(d.const(PAUSE, 4), d.const(READ_J, 4)), nxt)
+    nxt = when(st[PAUSE], FINAL_READ_I, nxt)
+    nxt = when(st[FINAL_READ_I], FINAL_READ_HI, nxt)
+    nxt = when(st[FINAL_READ_HI], PUSH_RIGHT, nxt)
+    nxt = when(st[PUSH_RIGHT], PUSH_LEFT, nxt)
+    nxt = when(st[PUSH_LEFT], POP, nxt)
+    nxt = when(st[CHECK_REQ], CHECK_WAIT0, nxt)
+    nxt = when(st[CHECK_WAIT0], CHECK_WAIT1, nxt)
+    nxt = when(st[CHECK_WAIT1], HALT, nxt)
+    pc.next = nxt
+
+    # -- ranges and indices --------------------------------------------------
+    lo.next = st[DISPATCH].ite(f_lo, lo.expr)
+    hi.next = st[DISPATCH].ite(f_hi, hi.expr)
+    i_reg.next = st[DISPATCH].ite(f_lo, st[WRITE_J].ite(i_next_loop, i_reg.expr))
+    j_reg.next = st[DISPATCH].ite(f_lo, st[WRITE_J].ite(j_reg.expr + 1, j_reg.expr))
+    pivot.next = st[PIVOT_WAIT].ite(arr_rd, pivot.expr)
+    tmp_j.next = st[READ_J].ite(
+        arr_rd, st[FINAL_READ_HI].ite(arr_rd, tmp_j.expr))
+    tmp_i.next = st[READ_I].ite(
+        arr_rd, st[FINAL_READ_I].ite(arr_rd, st[CHECK_WAIT0].ite(arr_rd, tmp_i.expr)))
+
+    # -- stack pointer --------------------------------------------------------
+    sp_dec = sp.expr - 1
+    sp_inc = sp.expr + 1
+    sp.next = st[INIT].ite(
+        1,
+        st[POP].ite(sp.expr.eq(0).ite(sp.expr, sp_dec),
+                    (st[PUSH_RIGHT] | st[PUSH_LEFT]).ite(sp_inc, sp.expr)))
+
+    # -- checker flags ----------------------------------------------------------
+    flag_valid.next = st[CHECK_WAIT1].ite(1, flag_valid.expr & ~st[INIT])
+    pair_ok.next = st[CHECK_WAIT1].ite(tmp_i.expr.ule(arr_rd), pair_ok.expr)
+
+    # -- array interface registers ----------------------------------------------
+    # Read requests made in a state are served in the next state.
+    arr_re.next = (st[DISPATCH] & f_lo.ult(f_hi)) | st[PIVOT_WAIT] \
+        | st[READ_J] | (st[WRITE_J] & ~last_iter) | st[PAUSE] \
+        | st[FINAL_READ_I] | st[CHECK_REQ] | st[CHECK_WAIT0]
+    raddr = arr_raddr.expr
+    raddr = st[DISPATCH].ite(f_hi, raddr)                 # pivot = arr[hi]
+    raddr = st[PIVOT_WAIT].ite(j_reg.expr, raddr)         # arr[j] (j = lo)
+    raddr = st[READ_J].ite(i_reg.expr, raddr)              # arr[i]
+    raddr = st[WRITE_J].ite(j_reg.expr + 1, raddr)         # next arr[j]
+    raddr = st[PAUSE].ite(i_reg.expr, raddr)               # final arr[i]
+    raddr = st[FINAL_READ_I].ite(hi.expr, raddr)           # final arr[hi]
+    raddr = st[CHECK_REQ].ite(d.const(0, aw), raddr)       # checker arr[0]
+    raddr = st[CHECK_WAIT0].ite(d.const(1, aw), raddr)     # checker arr[1]
+    arr_raddr.next = raddr
+
+    arr_we.next = st[READ_I] | st[WRITE_J] | st[FINAL_READ_HI]
+    waddr = arr_waddr.expr
+    waddr = st[READ_I].ite(i_reg.expr, waddr)              # arr[i] <= ...
+    waddr = st[WRITE_J].ite(j_reg.expr, waddr)             # arr[j] <= ...
+    waddr = st[FINAL_READ_HI].ite(i_reg.expr, waddr)       # arr[i] <= arr[hi]
+    arr_waddr.next = waddr
+    wdata = arr_wdata.expr
+    wdata = st[READ_I].ite(swap.ite(tmp_j.expr, arr_rd), wdata)
+    wdata = st[WRITE_J].ite(swap.ite(tmp_i.expr, tmp_j.expr), wdata)
+    wdata = st[FINAL_READ_HI].ite(arr_rd, wdata)
+    arr_wdata.next = wdata
+    # The FINAL_READ_HI write pairs with a deferred write of the old arr[i]
+    # into arr[hi] one state later, executed via PUSH_RIGHT's cycle:
+    # handled below by extending we/addr/data with PUSH_RIGHT.
+    arr_we.next = arr_we.next | st[PUSH_RIGHT]
+    arr_waddr.next = st[PUSH_RIGHT].ite(hi.expr, arr_waddr.next)
+    arr_wdata.next = st[PUSH_RIGHT].ite(tmp_i.expr, arr_wdata.next)
+
+    # -- stack interface registers -----------------------------------------------
+    stk_re.next = st[POP] & sp.expr.ne(0)
+    stk_raddr.next = st[POP].ite(sp_dec, stk_raddr.expr)
+    stk_we.next = st[INIT] | st[FINAL_READ_HI] | st[PUSH_RIGHT]
+    # Pushes are requested one state early (registered interface): the
+    # right frame is set up in FINAL_READ_HI while sp is still the pre-push
+    # value; the left frame is set up in PUSH_RIGHT, when sp has not yet
+    # absorbed the in-flight right push, hence the +1 on address and depth.
+    right_frame = frame(i_reg.expr + 1, hi.expr, sp.expr)
+    left_hi = i_reg.expr.eq(lo.expr).ite(lo.expr, i_reg.expr - 1)
+    left_frame = frame(lo.expr, left_hi, sp.expr + 1)
+    init_frame = frame(d.const(0, aw), d.const(p.n - 1, aw), d.const(0, saw))
+    swaddr = stk_waddr.expr
+    swaddr = st[INIT].ite(d.const(0, saw), swaddr)
+    swaddr = st[FINAL_READ_HI].ite(sp.expr, swaddr)       # push right at sp
+    swaddr = st[PUSH_RIGHT].ite(sp.expr + 1, swaddr)      # push left at sp+1
+    stk_waddr.next = swaddr
+    swdata = stk_wdata.expr
+    swdata = st[INIT].ite(init_frame, swdata)
+    swdata = st[FINAL_READ_HI].ite(right_frame, swdata)
+    swdata = st[PUSH_RIGHT].ite(left_frame, swdata)
+    stk_wdata.next = swdata
+
+    # -- properties ------------------------------------------------------------
+    d.invariant("P1", flag_valid.expr.implies(pair_ok.expr))
+    d.invariant("P2", (st[DISPATCH] & stk_re.expr).implies(f_depth.eq(sp.expr)))
+    return d

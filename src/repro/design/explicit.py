@@ -1,0 +1,92 @@
+"""Explicit memory modeling — the paper's baseline.
+
+Every memory module becomes ``2**AW`` word latches; each read port turns
+into a balanced mux tree selected by the (rewritten) address, and each
+word latch gets a write decoder chaining the write ports in index order
+(highest port index wins, matching the EMM priority of equation (4)).
+
+This is the model the paper calls *Explicit Modeling*: it preserves the
+exact memory semantics but adds ``2**AW * DW`` state bits per memory,
+which is what makes BMC blow up and motivates EMM.
+"""
+
+from __future__ import annotations
+
+from repro.design.netlist import Design, Expr, Memory
+from repro.design.rewrite import ExprRewriter
+
+
+def word_latch_name(mem_name: str, address: int) -> str:
+    """Naming scheme for the expanded word latches."""
+    return f"{mem_name}::w{address}"
+
+
+def expand_memories(design: Design) -> Design:
+    """Return an equivalent design with all memories explicitly expanded."""
+    design.validate()
+    out = Design(f"{design.name}__explicit")
+    for inp in design.inputs.values():
+        out.input(inp.name, inp.width)
+    for latch in design.latches.values():
+        out.latch(latch.name, latch.width, latch.init)
+    word_latches: dict[str, list] = {}
+    for mem in design.memories.values():
+        words = [
+            out.latch(word_latch_name(mem.name, a), mem.data_width,
+                      mem.initial_word(a))
+            for a in range(mem.num_words)
+        ]
+        word_latches[mem.name] = words
+
+    rw = ExprRewriter(design, out)
+
+    # Resolve read ports in dependency order so chained reads (port B's
+    # address uses port A's data) rewrite correctly.
+    for mem_name, port_index in design.port_evaluation_order():
+        mem = design.memories[mem_name]
+        port = mem.read_ports[port_index]
+        addr = rw.rewrite(port.addr)
+        data = _mux_tree(out, [w.expr for w in word_latches[mem_name]], addr)
+        rw.memread_map[(mem_name, port_index)] = data
+
+    # Word latch next-state: write decoders chained over write ports.
+    for mem in design.memories.values():
+        writes = [
+            (rw.rewrite(p.addr), rw.rewrite(p.en), rw.rewrite(p.data))
+            for p in mem.write_ports
+        ]
+        for a, word in enumerate(word_latches[mem.name]):
+            nxt = word.expr
+            for addr, en, data in writes:  # later ports override earlier
+                hit = en & addr.eq(a)
+                nxt = hit.ite(data, nxt)
+            word.next = nxt
+
+    for latch in design.latches.values():
+        out.latches[latch.name].next = rw.rewrite(latch.next)
+
+    for prop in design.properties.values():
+        expr = rw.rewrite(prop.expr)
+        if prop.kind == "invariant":
+            out.invariant(prop.name, expr)
+        else:
+            out.reach(prop.name, expr)
+    out.validate()
+    return out
+
+
+def _mux_tree(design: Design, words: list[Expr], addr: Expr) -> Expr:
+    """Balanced mux tree over ``words`` indexed by ``addr`` (LSB first)."""
+
+    def build(lo: int, span: list[Expr], bit: int) -> Expr:
+        if len(span) == 1:
+            return span[0]
+        half = len(span) // 2
+        low = build(lo, span[:half], bit + 1)
+        high = build(lo + half, span[half:], bit + 1)
+        return addr[len_addr - 1 - bit].ite(high, low)
+
+    len_addr = addr.width
+    if len(words) != (1 << len_addr):
+        raise ValueError("word count must be 2**addr_width")
+    return build(0, words, 0)

@@ -1,0 +1,84 @@
+"""Expression rewriting between designs.
+
+Used by the explicit-memory expansion (memread leaves become mux trees
+over word latches) and by invariant-based memory abstraction (memread
+leaves become constrained free inputs, Section 5 "Industry Design II"
+flow).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.design.netlist import Design, Expr
+
+
+class ExprRewriter:
+    """Rebuilds expressions of a source design inside a target design.
+
+    Leaves are mapped as follows: constants are re-made; inputs and
+    latches are looked up *by name* in the target design (they must have
+    been declared already); ``memread`` leaves are resolved through the
+    ``memread_map`` — populate it before rewriting anything that reads
+    memory, or pass a fallback factory.
+    """
+
+    def __init__(self, source: Design, target: Design,
+                 memread_fallback: Optional[Callable[[Expr], Expr]] = None,
+                 latch_rename: Optional[Callable[[str], str]] = None,
+                 input_rename: Optional[Callable[[str], str]] = None) -> None:
+        self.source = source
+        self.target = target
+        self.memread_map: dict[tuple[str, int], Expr] = {}
+        self._memread_fallback = memread_fallback
+        #: Optional name translation applied before the target lookup —
+        #: product/miter construction prefixes latch names per side.
+        self._latch_rename = latch_rename or (lambda n: n)
+        self._input_rename = input_rename or (lambda n: n)
+        self._cache: dict[int, Expr] = {}
+
+    def rewrite(self, expr: Expr) -> Expr:
+        """Rewrite ``expr`` (from the source design) into the target design."""
+        cache = self._cache
+        stack = [expr]
+        while stack:
+            e = stack[-1]
+            if e._id in cache:
+                stack.pop()
+                continue
+            missing = [a for a in e.args if a._id not in cache]
+            if missing:
+                stack.extend(missing)
+                continue
+            stack.pop()
+            cache[e._id] = self._rebuild(e)
+        return cache[expr._id]
+
+    def _rebuild(self, e: Expr) -> Expr:
+        t = self.target
+        if e.kind == "const":
+            return t.const(e.payload, e.width)
+        if e.kind == "input":
+            name = self._input_rename(e.payload)
+            inp = t.inputs.get(name)
+            if inp is None:
+                raise KeyError(f"input {name!r} missing in target design")
+            return inp.expr
+        if e.kind == "latch":
+            name = self._latch_rename(e.payload)
+            latch = t.latches.get(name)
+            if latch is None:
+                raise KeyError(f"latch {name!r} missing in target design")
+            return latch.expr
+        if e.kind == "memread":
+            mapped = self.memread_map.get(e.payload)
+            if mapped is None and self._memread_fallback is not None:
+                mapped = self._memread_fallback(e)
+                self.memread_map[e.payload] = mapped
+            if mapped is None:
+                raise KeyError(f"memread {e.payload} has no mapping")
+            if mapped.width != e.width:
+                raise ValueError("memread mapping width mismatch")
+            return mapped
+        args = tuple(self._cache[a._id] for a in e.args)
+        return t._mk(e.kind, e.width, args, e.payload)

@@ -1,0 +1,83 @@
+"""Closed-form EMM constraint counts from the paper, for verification.
+
+Section 3 (single memory, single read/write port, depth k, address width
+m, data width n):
+
+* hybrid representation: ``(4m+2n+1)k + 2n + 1`` clauses and ``3k`` gates;
+* purely circuit-based: ``(4m+2n+2)k + n`` gates.
+
+Section 4.1 (W write ports, R read ports): per read port
+``(4m+2n+1)kW + 2n + 1`` clauses and ``3kW`` gates; multiply by R for all
+read ports.  Growth stays quadratic in depth (the counts above are *new*
+constraints at depth k; cumulative totals sum over k).
+
+Section 4.2: ``kR`` fresh symbolic words at (k-1)-depth analysis.  The
+paper prints ``kR(R-1)`` for the number of equation-(6) consistency
+constraints; an all-pairs count over the kR fresh reads is
+``kR(kR-1)/2`` — see :func:`init_consistency_pairs_all` and DESIGN.md for
+why this reproduction constrains all pairs (same-port reads at different
+depths also need consistency for induction proofs to be sound).
+"""
+
+from __future__ import annotations
+
+
+def clauses_per_read_port(k: int, w_ports: int, addr_width: int,
+                          data_width: int) -> int:
+    """Paper formula: CNF clauses added at depth k for one read port."""
+    m, n = addr_width, data_width
+    return (4 * m + 2 * n + 1) * k * w_ports + 2 * n + 1
+
+
+def gates_per_read_port(k: int, w_ports: int) -> int:
+    """Paper formula: 2-input gates added at depth k for one read port."""
+    return 3 * k * w_ports
+
+
+def clauses_at_depth(k: int, w_ports: int, r_ports: int, addr_width: int,
+                     data_width: int) -> int:
+    """All read ports: ``((4m+2n+1)kW + 2n + 1) * R``."""
+    return clauses_per_read_port(k, w_ports, addr_width, data_width) * r_ports
+
+
+def gates_at_depth(k: int, w_ports: int, r_ports: int) -> int:
+    """All read ports: ``3kWR``."""
+    return gates_per_read_port(k, w_ports) * r_ports
+
+
+def cumulative_clauses(depth: int, w_ports: int, r_ports: int,
+                       addr_width: int, data_width: int) -> int:
+    """Total clauses after analysing depths 0..depth (quadratic growth)."""
+    return sum(clauses_at_depth(k, w_ports, r_ports, addr_width, data_width)
+               for k in range(depth + 1))
+
+
+def cumulative_gates(depth: int, w_ports: int, r_ports: int) -> int:
+    return sum(gates_at_depth(k, w_ports, r_ports) for k in range(depth + 1))
+
+
+def pure_gate_single_port(k: int, addr_width: int, data_width: int) -> int:
+    """Section 3's purely circuit-based alternative: ``(4m+2n+2)k + n`` gates."""
+    m, n = addr_width, data_width
+    return (4 * m + 2 * n + 2) * k + n
+
+
+def explicit_model_state_bits(addr_width: int, data_width: int) -> int:
+    """State bits the explicit baseline adds per memory: ``2**AW * DW``."""
+    return (1 << addr_width) * data_width
+
+
+def symbolic_init_words(k: int, r_ports: int) -> int:
+    """Fresh symbolic data words introduced for arbitrary initial state."""
+    return k * r_ports
+
+
+def init_consistency_pairs_paper(k: int, r_ports: int) -> int:
+    """The count as printed in the paper: ``kR(R-1)``."""
+    return k * r_ports * (r_ports - 1)
+
+
+def init_consistency_pairs_all(k: int, r_ports: int) -> int:
+    """All-pairs count over the ``kR`` fresh reads (what we implement)."""
+    total = k * r_ports
+    return total * (total - 1) // 2

@@ -1,0 +1,368 @@
+"""EMM constraint generation for multi-port, multi-memory systems.
+
+One :class:`EmmMemory` instance manages one memory module for the
+lifetime of a BMC run; :meth:`EmmMemory.add_frame` is the paper's
+``EMM_Constraints(k)`` (Figure 2, lines 8-11), invoked after every
+unrolling.  All clauses carry labels ``("emm", memory, kind)`` so
+proof-based abstraction can tell which memories a proof actually used.
+
+Pair ordering follows equation (4): for a read at depth k, candidate
+writes are scanned latest-frame-first and, within a frame, highest
+write-port-first; ``PS(i,p)`` means "no match strictly after (i,p)",
+``S(i,p)`` means "(i,p) is the unique matching write".  ``PS`` at the
+very bottom of the chain is the paper's ``S_{-1}`` — the read falls
+through to the initial memory state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bmc.unroller import PortSignals, Unroller
+from repro.sat.solver import Solver
+
+
+@dataclass
+class EmmCounters:
+    """Measured constraint sizes, comparable to the paper's formulas."""
+
+    addr_eq_clauses: int = 0
+    excl_gates: int = 0
+    rd_clauses: int = 0
+    valid_clauses: int = 0
+    init_rd_clauses: int = 0
+    init_pin_clauses: int = 0
+    init_rom_clauses: int = 0
+    init_addr_eq_clauses: int = 0
+    init_consistency_clauses: int = 0
+    init_pairs: int = 0
+    vars_added: int = 0
+    #: clauses absorbed by the solver (tautologies from constant addresses)
+    absorbed: int = 0
+    per_frame: list[dict] = field(default_factory=list)
+
+    @property
+    def total_clauses(self) -> int:
+        return (self.addr_eq_clauses + self.rd_clauses + self.valid_clauses
+                + self.init_rd_clauses + self.init_pin_clauses
+                + self.init_rom_clauses + self.init_addr_eq_clauses
+                + self.init_consistency_clauses)
+
+    @property
+    def total_gates(self) -> int:
+        return self.excl_gates
+
+
+class _ReadRecord:
+    """Bookkeeping for one read access (needed by equation (6) pairs)."""
+
+    __slots__ = ("frame", "port", "addr", "n_lit", "v_vars")
+
+    def __init__(self, frame: int, port: int, addr: list[int],
+                 n_lit: int, v_vars: list[int]) -> None:
+        self.frame = frame
+        self.port = port
+        self.addr = addr
+        self.n_lit = n_lit
+        self.v_vars = v_vars
+
+
+class EmmMemory:
+    """EMM constraints for a single memory module across BMC depths.
+
+    Parameters
+    ----------
+    exclusivity:
+        When False, the exclusive ``S`` signals are dropped and the
+        forwarding semantics are encoded as the naive long-clause
+        implications of equation (3) — the ablation of Section 3 item 3.
+    init_consistency:
+        When False, arbitrary-initial-state reads still get fresh
+        symbolic words but the pairwise equation-(6) constraints are
+        omitted — the unsound-for-proofs ablation of Section 4.2.
+    """
+
+    def __init__(self, solver: Solver, unroller: Unroller, mem_name: str,
+                 exclusivity: bool = True, init_consistency: bool = True,
+                 symbolic_init: bool = False,
+                 a_meminit: Optional[int] = None,
+                 kept_read_ports: Optional[frozenset[int]] = None,
+                 check_races: bool = False,
+                 init_registry: Optional[list] = None) -> None:
+        self.solver = solver
+        self.unroller = unroller
+        self.mem = unroller.design.memories[mem_name]
+        self.name = mem_name
+        self.exclusivity = exclusivity
+        self.init_consistency = init_consistency
+        #: Port-level abstraction (Section 4.3): read ports outside this
+        #: set get no forwarding constraints — their RD words stay free.
+        self.kept_read_ports = (frozenset(range(self.mem.num_read_ports))
+                                if kept_read_ports is None
+                                else frozenset(kept_read_ports))
+        #: Data-race monitoring (Section 4.1 mentions the extension): when
+        #: enabled, a literal per frame witnesses two write ports hitting
+        #: the same address with both enables active.
+        self.check_races = check_races
+        self.race_lits: list[int] = []
+        #: When True, even known-init memories read a *symbolic* word on the
+        #: initial fall-through, pinned to the declared init only under the
+        #: ``a_meminit`` activation literal.  Required for sound backward
+        #: induction (Section 4.2): an induction path starts from an
+        #: arbitrary state, where the memory may hold anything.
+        self.symbolic_init = symbolic_init or self.mem.init is None
+        self.a_meminit = a_meminit
+        has_known_init = self.mem.init is not None or bool(self.mem.init_words)
+        if self.symbolic_init and has_known_init and a_meminit is None:
+            raise ValueError("symbolic_init for a known-init memory needs a_meminit")
+        self.counters = EmmCounters()
+        self._writes: list[list[PortSignals]] = []  # [frame][write_port]
+        #: Fall-through read records; a list *shared across memories* when
+        #: this memory is in a shared-initial-state group (the miter case:
+        #: equation (6) then relates reads of different memory copies).
+        self._reads: list[_ReadRecord] = (init_registry
+                                          if init_registry is not None
+                                          else [])
+        self._frames = 0
+
+    # -- the paper's EMM_Constraints(k) -----------------------------------
+
+    def add_frame(self, k: int) -> None:
+        """Add memory-modeling constraints for depth ``k``."""
+        if k != self._frames:
+            raise ValueError(f"frames must be added in order (expected {self._frames})")
+        self._frames += 1
+        un = self.unroller
+        before = dict(vars(self.counters))
+        writes = [un.write_port_signals(self.name, w, k)
+                  for w in range(self.mem.num_write_ports)]
+        self._writes.append(writes)
+        if self.check_races:
+            self._monitor_races(k, writes)
+        for r in range(self.mem.num_read_ports):
+            if r not in self.kept_read_ports:
+                continue  # abstracted port: RD left unconstrained
+            read = un.read_port_signals(self.name, r, k)
+            self._constrain_read(k, r, read)
+        frame_counts = {
+            key: vars(self.counters)[key] - before[key]
+            for key in before if isinstance(before[key], int)
+        }
+        self.counters.per_frame.append(frame_counts)
+
+    def _constrain_read(self, k: int, r: int, read: PortSignals) -> None:
+        mem = self.mem
+        w_ports = mem.num_write_ports
+        c = self.counters
+
+        # 1. Address comparison + s = E ∧ WE per (frame, write port) pair.
+        s_lits: list[list[int]] = []  # [frame j][write port w]
+        for j in range(k):
+            row = []
+            for w in range(w_ports):
+                wsig = self._writes[j][w]
+                e_var = self._addr_eq(read.addr, wsig.addr,
+                                      ("emm", self.name, "addr_eq"), c, "addr_eq_clauses")
+                s = self._and2(e_var, wsig.en, ("emm", self.name, "excl"))
+                row.append(s)
+            s_lits.append(row)
+
+        label_excl = ("emm", self.name, "excl")
+        label_rd = ("emm", self.name, "rd")
+        n_bits = mem.data_width
+
+        if self.exclusivity:
+            # 2. Exclusive valid-read chain, equation (4).
+            ps_next = read.en  # PS(k, k, 0, r) = RE(k, r)
+            s_valid: list[int] = []
+            pairs: list[tuple[int, int, int]] = []  # (frame, wport, S lit)
+            for j in range(k - 1, -1, -1):
+                for w in range(w_ports - 1, -1, -1):
+                    s = s_lits[j][w]
+                    s_sig = self._and2(s, ps_next, label_excl)
+                    ps = self._and2(-s, ps_next, label_excl)
+                    pairs.append((j, w, s_sig))
+                    s_valid.append(s_sig)
+                    ps_next = ps
+            n_lit = ps_next  # PS(0, k, 0, r): no write matched at all
+            # 3. Read-data constraints, equation (5): S -> RD = WD.
+            for j, w, s_sig in pairs:
+                wd = self._writes[j][w].data
+                for b in range(n_bits):
+                    self._clause([-s_sig, -read.data[b], wd[b]], label_rd, c, "rd_clauses")
+                    self._clause([-s_sig, read.data[b], -wd[b]], label_rd, c, "rd_clauses")
+            # Validity of the read: RE -> some S or the initial fall-through.
+            self._clause([-read.en, n_lit] + s_valid,
+                         ("emm", self.name, "valid"), c, "valid_clauses")
+        else:
+            # Ablation: naive long-clause encoding of equation (3); the
+            # "no intermediate write" side condition is spelled out as the
+            # disjunction of all later pair signals inside every clause.
+            flat: list[int] = []  # pair s-lits in chain order (latest first)
+            order: list[tuple[int, int]] = []
+            for j in range(k - 1, -1, -1):
+                for w in range(w_ports - 1, -1, -1):
+                    flat.append(s_lits[j][w])
+                    order.append((j, w))
+            for idx, (j, w) in enumerate(order):
+                s = flat[idx]
+                later = flat[:idx]  # pairs with higher priority
+                wd = self._writes[j][w].data
+                for b in range(n_bits):
+                    self._clause([-read.en, -s] + later + [-read.data[b], wd[b]],
+                                 label_rd, c, "rd_clauses")
+                    self._clause([-read.en, -s] + later + [read.data[b], -wd[b]],
+                                 label_rd, c, "rd_clauses")
+            # N = no pair matched, built as an AND chain (needed for the
+            # initial-state fall-through even without exclusivity).
+            n_lit = read.en
+            for s in flat:
+                n_lit = self._and2(-s, n_lit, label_excl)
+
+        # 4. Initial-state fall-through: N -> RD = initial word.
+        label_init = ("emm", self.name, "init")
+        if not self.symbolic_init:
+            # Known init, falsification-only runs: direct constants, with
+            # per-address overrides (ROM contents) selected by E vars.
+            self._pin_word(read.data, n_lit, read.addr, label_init, c,
+                           "init_rd_clauses")
+        else:
+            # Section 4.2: a fresh symbolic word per fall-through read.
+            v_vars = [self._new_var() for _ in range(n_bits)]
+            for b in range(n_bits):
+                self._clause([-n_lit, -read.data[b], v_vars[b]],
+                             label_init, c, "init_rd_clauses")
+                self._clause([-n_lit, read.data[b], -v_vars[b]],
+                             label_init, c, "init_rd_clauses")
+            if mem.init is not None or mem.init_words:
+                # Pin the symbols to the declared init under a_meminit, so
+                # falsification / forward checks see the real initial
+                # memory while backward induction sees an arbitrary one.
+                self._pin_word(v_vars, self.a_meminit, read.addr, label_init,
+                               c, "init_pin_clauses")
+            record = _ReadRecord(k, r, list(read.addr), n_lit, v_vars)
+            if self.init_consistency:
+                self._add_init_consistency(record, c)
+            self._reads.append(record)
+
+    def _pin_word(self, word: list[int], guard: int, addr: list[int],
+                  label, c: EmmCounters, counter: str) -> None:
+        """``guard -> word = initial contents at addr``.
+
+        Uniform-init memories need one clause per data bit; per-address
+        overrides (``init_words``) add an address-match indicator per
+        override and guard each bit clause with it.  A memory whose
+        default is arbitrary (``init=None`` with overrides) pins only the
+        overridden addresses.
+        """
+        mem = self.mem
+        keys = sorted(mem.init_words)
+        e_vars = []
+        for a in keys:
+            e = self._addr_eq_const(addr, a, label, c)
+            e_vars.append(e)
+            value = mem.init_words[a]
+            for b, w in enumerate(word):
+                lit = w if (value >> b) & 1 else -w
+                self._clause([-guard, -e, lit], label, c, counter)
+        if mem.init is not None:
+            for b, w in enumerate(word):
+                lit = w if (mem.init >> b) & 1 else -w
+                self._clause([-guard] + e_vars + [lit], label, c, counter)
+
+    def _addr_eq_const(self, addr: list[int], value: int, label,
+                       c: EmmCounters) -> int:
+        """Fresh E with E <-> (addr == value); m+1 clauses."""
+        e = self._new_var()
+        lits = [addr[i] if (value >> i) & 1 else -addr[i]
+                for i in range(len(addr))]
+        for lit in lits:
+            self._clause([-e, lit], label, c, "init_rom_clauses")
+        self._clause([e] + [-lit for lit in lits], label, c,
+                     "init_rom_clauses")
+        return e
+
+    def _add_init_consistency(self, new: _ReadRecord, c: EmmCounters) -> None:
+        """Equation (6): equal fresh-read addresses give equal symbols."""
+        label = ("emm", self.name, "init_consistency")
+        for old in self._reads:
+            eq = self._addr_eq(new.addr, old.addr, label, c, "init_addr_eq_clauses")
+            guard = [-eq, -new.n_lit, -old.n_lit]
+            for vb_new, vb_old in zip(new.v_vars, old.v_vars):
+                self._clause(guard + [-vb_new, vb_old], label, c,
+                             "init_consistency_clauses")
+                self._clause(guard + [vb_new, -vb_old], label, c,
+                             "init_consistency_clauses")
+            c.init_pairs += 1
+
+    def _monitor_races(self, k: int, writes: list[PortSignals]) -> None:
+        """OR over write-port pairs of (same address AND both enabled).
+
+        The paper assumes data races are absent; this monitor lets a user
+        discharge that assumption: verify the invariant "race literal is
+        never true" with the engine (see ``BmcEngine.race_property``).
+        """
+        label = ("emm", self.name, "race")
+        pair_lits: list[int] = []
+        for i in range(len(writes)):
+            for j in range(i + 1, len(writes)):
+                eq = self._addr_eq(writes[i].addr, writes[j].addr, label,
+                                   self.counters, "addr_eq_clauses")
+                both = self._and2(writes[i].en, writes[j].en, label)
+                pair_lits.append(self._and2(eq, both, label))
+        if not pair_lits:
+            # Single write port: a race is structurally impossible.
+            race = self._new_var()
+            self.solver.add_clause([-race], label)
+        elif len(pair_lits) == 1:
+            race = pair_lits[0]
+        else:
+            # race <-> OR(pairs), encoded one-directionally both ways.
+            race = self._new_var()
+            for p in pair_lits:
+                self.solver.add_clause([-p, race], label)
+            self.solver.add_clause([-race] + pair_lits, label)
+        self.race_lits.append(race)
+
+    # -- low-level helpers ----------------------------------------------
+
+    def _new_var(self) -> int:
+        self.counters.vars_added += 1
+        return self.solver.new_var()
+
+    def _clause(self, lits: list[int], label, c: EmmCounters, counter: str) -> None:
+        setattr(c, counter, getattr(c, counter) + 1)
+        if self.solver.add_clause(lits, label) < 0:
+            c.absorbed += 1
+
+    def _addr_eq(self, a_bits: list[int], b_bits: list[int], label,
+                 c: EmmCounters, counter: str) -> int:
+        """The paper's 4m+1 clause address-comparison encoding.
+
+        Returns the literal of a fresh variable E with E <-> (a == b):
+        E -> per-bit equality directly, and per-bit indicator variables
+        e_i with (a_i == b_i) -> e_i plus the closing clause
+        (!e_0 + ... + !e_{m-1} + E).
+        """
+        e_total = self._new_var()
+        e_bits = []
+        for a, b in zip(a_bits, b_bits):
+            e_i = self._new_var()
+            self._clause([-e_total, a, -b], label, c, counter)
+            self._clause([-e_total, -a, b], label, c, counter)
+            self._clause([e_i, a, b], label, c, counter)
+            self._clause([e_i, -a, -b], label, c, counter)
+            e_bits.append(e_i)
+        self._clause([-e for e in e_bits] + [e_total], label, c, counter)
+        return e_total
+
+    def _and2(self, a: int, b: int, label) -> int:
+        """A 2-input AND gate in CNF (counted as one gate, per the paper)."""
+        v = self._new_var()
+        s = self.solver
+        s.add_clause([-v, a], label)
+        s.add_clause([-v, b], label)
+        s.add_clause([v, -a, -b], label)
+        self.counters.excl_gates += 1
+        return v

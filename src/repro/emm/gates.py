@@ -1,0 +1,210 @@
+"""Pure gate-based EMM encoding — the paper's Section 3 comparison point.
+
+The closing paragraph of Section 3 contrasts the hybrid CNF+gate
+representation ("(4m+2n+1)k + 2n + 1 clauses and 3k gates") against "a
+purely circuit-based representation" needing "(4m+2n+2)k + n gates".
+:class:`repro.emm.forwarding.EmmMemory` implements the hybrid encoding;
+this module implements the circuit one: equation (2)/(5) built entirely
+out of AIG nodes —
+
+    RD_{k,r}  =  OR_{j,w} (S_{j,k,w,r} ∧ WD_{j,w})  ∨  (PS_0 ∧ V)
+
+— and forced true bit by bit through the Tseitin emitter.  Same
+semantics, different SAT back-end shape; ``BmcOptions.emm_encoding``
+selects between them and the A3 benchmark measures both.
+
+One deliberate refinement: with gates, a disabled read (RE=0) collapses
+the whole chain to 0, so RD is *forced to zero* rather than left free as
+in the hybrid encoding.  That matches the reference simulator; designs
+must not consume RD while RE is low under either encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.aig import ops
+from repro.aig.aig import FALSE
+from repro.bmc.unroller import PortSignals, Unroller
+from repro.emm.forwarding import EmmCounters, _ReadRecord
+from repro.sat.solver import Solver
+
+
+class GateEmmMemory:
+    """Gate-encoded EMM constraints for one memory (drop-in for EmmMemory).
+
+    Supports the same feature set as the hybrid encoder except the
+    exclusivity ablation (the chain *is* the encoding here) and race
+    monitoring.  Counter semantics: ``excl_gates`` counts every AIG node
+    the encoding creates; clause counters count the CNF the emitter
+    produces for the forced output bits and the initial-state machinery.
+    """
+
+    def __init__(self, solver: Solver, unroller: Unroller, mem_name: str,
+                 exclusivity: bool = True, init_consistency: bool = True,
+                 symbolic_init: bool = False,
+                 a_meminit: Optional[int] = None,
+                 kept_read_ports: Optional[frozenset[int]] = None,
+                 check_races: bool = False,
+                 init_registry: Optional[list] = None) -> None:
+        if check_races:
+            raise ValueError("race monitoring is only available with the "
+                             "hybrid EMM encoding")
+        self.solver = solver
+        self.unroller = unroller
+        self.aig = unroller.aig
+        self.emitter = unroller.emitter
+        self.mem = unroller.design.memories[mem_name]
+        self.name = mem_name
+        self.init_consistency = init_consistency
+        self.kept_read_ports = (frozenset(range(self.mem.num_read_ports))
+                                if kept_read_ports is None
+                                else frozenset(kept_read_ports))
+        self.symbolic_init = symbolic_init or self.mem.init is None
+        self.a_meminit = a_meminit
+        has_known_init = self.mem.init is not None or bool(self.mem.init_words)
+        if self.symbolic_init and has_known_init and a_meminit is None:
+            raise ValueError("symbolic_init for a known-init memory needs "
+                             "a_meminit")
+        self.counters = EmmCounters()
+        self.race_lits: list[int] = []
+        self._writes: list[list[PortSignals]] = []  # AIG-level, per frame
+        self._reads: list[_ReadRecord] = (init_registry
+                                          if init_registry is not None
+                                          else [])
+        self._frames = 0
+
+    # -- EMM_Constraints(k), gate flavour ---------------------------------
+
+    def add_frame(self, k: int) -> None:
+        if k != self._frames:
+            raise ValueError(f"frames must be added in order (expected "
+                             f"{self._frames})")
+        self._frames += 1
+        un = self.unroller
+        ands_before = self.aig.num_ands
+        clauses_before = self.solver.num_clauses
+        writes = [un.write_port_aig(self.name, w, k)
+                  for w in range(self.mem.num_write_ports)]
+        self._writes.append(writes)
+        for r in range(self.mem.num_read_ports):
+            if r not in self.kept_read_ports:
+                continue
+            self._constrain_read(k, r, un.read_port_aig(self.name, r, k))
+        self.counters.excl_gates += self.aig.num_ands - ands_before
+        self.counters.rd_clauses += self.solver.num_clauses - clauses_before
+        frame = {"gates": self.aig.num_ands - ands_before,
+                 "clauses": self.solver.num_clauses - clauses_before}
+        self.counters.per_frame.append(frame)
+
+    def _constrain_read(self, k: int, r: int, read: PortSignals) -> None:
+        aig = self.aig
+        n_bits = self.mem.data_width
+        # Priority chain, latest frame / highest write port first, exactly
+        # the order of equation (4).
+        ps = read.en
+        value = [FALSE] * n_bits
+        for j in range(k - 1, -1, -1):
+            for w in range(self.mem.num_write_ports - 1, -1, -1):
+                wsig = self._writes[j][w]
+                s = aig.and_(ops.eq_word(aig, read.addr, wsig.addr), wsig.en)
+                s_excl = aig.and_(s, ps)
+                ps = aig.and_(s ^ 1, ps)  # AIG literals negate via bit 0
+                for b in range(n_bits):
+                    value[b] = aig.or_(value[b],
+                                       aig.and_(s_excl, wsig.data[b]))
+        n_lit = ps  # no write matched: fall through to the initial state
+        init_word = self._initial_word(read.addr, n_lit, read, k, r)
+        for b in range(n_bits):
+            value[b] = aig.or_(value[b], aig.and_(n_lit, init_word[b]))
+        # Force RD = value (per bit) through the emitter.
+        em = self.emitter
+        em.set_label(("emm", self.name, "rd"))
+        for b in range(n_bits):
+            em.add_clause([em.sat_lit(aig.iff_(read.data[b], value[b]))])
+
+    def _initial_word(self, addr: list[int], n_lit: int,
+                      read: PortSignals, k: int, r: int) -> list[int]:
+        """AIG word holding the initial memory contents at ``addr``."""
+        aig = self.aig
+        mem = self.mem
+        n_bits = mem.data_width
+        if not self.symbolic_init:
+            word = ops.const_word(mem.init, n_bits)
+            for a in sorted(mem.init_words):
+                hit = ops.eq_word(aig, addr, ops.const_word(a, len(addr)))
+                word = ops.mux_word(aig, hit,
+                                    ops.const_word(mem.init_words[a], n_bits),
+                                    word)
+            return word
+        # Section 4.2: fresh symbolic inputs, pinned under a_meminit when
+        # the declared init is known, cross-read-consistent via eq. (6).
+        em = self.emitter
+        v_aig = [aig.new_input(f"{self.name}.V{r}.{b}@{k}")
+                 for b in range(n_bits)]
+        em.set_label(("emm", self.name, "init"))
+        v_sat = [em.sat_lit(v) for v in v_aig]
+        c = self.counters
+        if mem.init is not None or mem.init_words:
+            self._pin_symbolic(addr, v_sat)
+        addr_sat = em.sat_word(addr)
+        record = _ReadRecord(k, r, addr_sat, em.sat_lit(n_lit), v_sat)
+        if self.init_consistency:
+            self._consistency(record)
+        self._reads.append(record)
+        c.vars_added += n_bits
+        return v_aig
+
+    def _pin_symbolic(self, addr: list[int], v_sat: list[int]) -> None:
+        """``a_meminit -> V = declared initial contents at addr``."""
+        aig = self.aig
+        em = self.emitter
+        mem = self.mem
+        c = self.counters
+        e_sats = []
+        for a in sorted(mem.init_words):
+            hit = ops.eq_word(aig, addr, ops.const_word(a, len(addr)))
+            e_sat = em.sat_lit(hit)
+            e_sats.append(e_sat)
+            value = mem.init_words[a]
+            for b, v in enumerate(v_sat):
+                lit = v if (value >> b) & 1 else -v
+                em.add_clause([-self.a_meminit, -e_sat, lit])
+                c.init_pin_clauses += 1
+        if mem.init is not None:
+            for b, v in enumerate(v_sat):
+                lit = v if (mem.init >> b) & 1 else -v
+                em.add_clause([-self.a_meminit] + e_sats + [lit])
+                c.init_pin_clauses += 1
+
+    def _consistency(self, new: _ReadRecord) -> None:
+        """Equation (6) across all recorded fall-through reads."""
+        em = self.emitter
+        c = self.counters
+        for old in self._reads:
+            eq = self._sat_addr_eq(new.addr, old.addr)
+            guard = [-eq, -new.n_lit, -old.n_lit]
+            for vb_new, vb_old in zip(new.v_vars, old.v_vars):
+                em.add_clause(guard + [-vb_new, vb_old])
+                em.add_clause(guard + [vb_new, -vb_old])
+                c.init_consistency_clauses += 2
+            c.init_pairs += 1
+
+    def _sat_addr_eq(self, a_bits: list[int], b_bits: list[int]) -> int:
+        """CNF equality indicator over already-emitted SAT literals."""
+        solver = self.solver
+        c = self.counters
+        label = ("emm", self.name, "init_consistency")
+        e_total = solver.new_var()
+        e_bits = []
+        for a, b in zip(a_bits, b_bits):
+            e_i = solver.new_var()
+            for lits in ([-e_total, a, -b], [-e_total, -a, b],
+                         [e_i, a, b], [e_i, -a, -b]):
+                solver.add_clause(lits, label)
+            c.init_addr_eq_clauses += 4
+            e_bits.append(e_i)
+        solver.add_clause([-e for e in e_bits] + [e_total], label)
+        c.init_addr_eq_clauses += 1
+        c.vars_added += len(e_bits) + 1
+        return e_total

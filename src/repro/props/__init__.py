@@ -1,0 +1,16 @@
+"""Property-level flows built on top of the BMC engine (S8).
+
+:mod:`repro.props.invariant_flow` reproduces the Industry Design II
+methodology: discover an invariant about the memory interface, prove it
+by induction, then *replace the memory* by the constraint the invariant
+implies on the read data and prove the original properties on the
+reduced, memory-free model.
+"""
+
+from repro.props.invariant_flow import (abstract_memory_reads,
+                                        free_memory_reads,
+                                        prove_with_memory_invariant,
+                                        InvariantFlowResult)
+
+__all__ = ["abstract_memory_reads", "free_memory_reads",
+           "prove_with_memory_invariant", "InvariantFlowResult"]

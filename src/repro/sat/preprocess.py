@@ -1,0 +1,363 @@
+"""CNF preprocessing: SatELite-style simplification with model repair.
+
+BMC instances are machine-generated and heavily redundant — Tseitin
+variables with single occurrences, subsumed link clauses, units from
+constant initial states.  This module shrinks a CNF before solving:
+
+* unit propagation to fixpoint,
+* pure-literal elimination,
+* (self-)subsumption — clause C subsumes D when C ⊆ D; self-subsuming
+  resolution strengthens D by dropping a literal when C ⊆ D up to one
+  flipped literal,
+* bounded variable elimination (BVE) — resolve a variable away when the
+  resolvent set is no larger than the clauses it replaces.
+
+Everything is equisatisfiable, not equivalent: eliminated variables and
+pure literals are recorded on a reconstruction stack so
+:meth:`SimplifyResult.extend_model` can repair any model of the
+simplified CNF into a model of the original.  The preprocessor is
+deliberately standalone (plain ints and lists, no solver coupling) so it
+can front any backend and stay easy to test exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+Clause = tuple[int, ...]
+
+
+@dataclass
+class PreprocessStats:
+    """Work counters for one :func:`simplify` run."""
+
+    units_propagated: int = 0
+    pure_literals: int = 0
+    subsumed: int = 0
+    strengthened: int = 0
+    vars_eliminated: int = 0
+    resolvents_added: int = 0
+    rounds: int = 0
+
+
+@dataclass
+class SimplifyResult:
+    """Simplified CNF plus everything needed to undo the simplification."""
+
+    num_vars: int
+    clauses: list[Clause]
+    #: UNSAT was proven outright during preprocessing.
+    unsat: bool = False
+    #: Literals fixed by propagation/pure-literal reasoning (external).
+    fixed: dict[int, bool] = field(default_factory=dict)
+    #: Reconstruction stack: (var, clauses it must satisfy) in
+    #: elimination order; replayed in reverse by :meth:`extend_model`.
+    _stack: list[tuple[int, list[Clause]]] = field(default_factory=list)
+    stats: PreprocessStats = field(default_factory=PreprocessStats)
+
+    def extend_model(self, model: dict[int, bool]) -> dict[int, bool]:
+        """Extend a model of the simplified CNF to the original variables.
+
+        ``model`` maps var -> bool for the surviving variables; the result
+        adds the fixed and eliminated variables.  Raises ``ValueError``
+        when the given assignment does not satisfy the simplified CNF.
+        """
+        full = dict(model)
+        full.update(self.fixed)
+
+        def lit_true(lit: int) -> Optional[bool]:
+            val = full.get(abs(lit))
+            if val is None:
+                return None
+            return val == (lit > 0)
+
+        for clause in self.clauses:
+            if not any(lit_true(l) for l in clause):
+                raise ValueError("model does not satisfy the simplified CNF")
+        for var, clauses in reversed(self._stack):
+            # The variable was eliminated by resolution: one polarity
+            # always works.  Try False, flip if some clause needs True.
+            full.setdefault(var, False)
+            for clause in clauses:
+                if not any(lit_true(l) for l in clause):
+                    full[var] = not full[var]
+                    break
+            for clause in clauses:
+                if not any(lit_true(l) for l in clause):
+                    raise ValueError(
+                        f"reconstruction failed for variable {var}")
+        return full
+
+
+def _signature(clause: Clause) -> int:
+    """64-bit membership fingerprint for fast subsumption rejection."""
+    sig = 0
+    for lit in clause:
+        sig |= 1 << (abs(lit) * 2 + (lit < 0)) % 64
+    return sig
+
+
+class Preprocessor:
+    """Mutable working set of clauses with occurrence lists."""
+
+    def __init__(self, num_vars: int,
+                 clauses: Iterable[Sequence[int]] = ()) -> None:
+        self.num_vars = num_vars
+        self._clauses: dict[int, Clause] = {}
+        self._occur: dict[int, set[int]] = {}
+        self._next_id = 0
+        self._fixed: dict[int, bool] = {}
+        self._stack: list[tuple[int, list[Clause]]] = []
+        self._frozen: set[int] = set()
+        self._unsat = False
+        self.stats = PreprocessStats()
+        for c in clauses:
+            self.add_clause(c)
+
+    # -- construction -----------------------------------------------------
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        out: list[int] = []
+        seen: set[int] = set()
+        for lit in lits:
+            if not lit or abs(lit) > self.num_vars:
+                raise ValueError(f"bad literal {lit}")
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                out.append(lit)
+        self._store(tuple(sorted(out, key=abs)))
+
+    def freeze(self, var: int) -> None:
+        """Protect a variable from elimination (interface variables)."""
+        self._frozen.add(abs(var))
+
+    # -- the pipeline ------------------------------------------------------
+
+    def simplify(self, rounds: int = 3,
+                 elimination_growth: int = 0) -> SimplifyResult:
+        """Run the full pipeline; ``rounds`` bounds the outer fixpoint.
+
+        ``elimination_growth`` allows BVE to add up to that many clauses
+        over the ones removed (0 = classic NiVER never-grow rule).
+        """
+        for _ in range(rounds):
+            if self._unsat:
+                break
+            self.stats.rounds += 1
+            changed = self._propagate_units()
+            changed |= self._pure_literals()
+            changed |= self._subsumption()
+            changed |= self._eliminate_variables(elimination_growth)
+            if not changed:
+                break
+        return self._result()
+
+    # -- individual techniques --------------------------------------------
+
+    def _propagate_units(self) -> bool:
+        changed = False
+        while not self._unsat:
+            unit = next((c for c in self._clauses.values() if len(c) == 1), None)
+            if unit is None:
+                break
+            self._assign(unit[0])
+            self.stats.units_propagated += 1
+            changed = True
+        return changed
+
+    def _pure_literals(self) -> bool:
+        changed = False
+        while not self._unsat:
+            pure: Optional[int] = None
+            for var in list(self._occur_vars()):
+                if var in self._frozen or var in self._fixed:
+                    continue
+                pos = self._occur.get(var, set())
+                neg = self._occur.get(-var, set())
+                if pos and not neg:
+                    pure = var
+                    break
+                if neg and not pos:
+                    pure = -var
+                    break
+            if pure is None:
+                break
+            # Record for reconstruction, then drop the satisfied clauses.
+            # (The polarity choice is forced, so fixing it is sound.)
+            satisfied = [self._clauses[cid]
+                         for cid in self._occur.get(pure, set())]
+            self._stack.append((abs(pure), satisfied))
+            self._fixed[abs(pure)] = pure > 0
+            for cid in list(self._occur.get(pure, set())):
+                self._remove(cid)
+            self.stats.pure_literals += 1
+            changed = True
+        return changed
+
+    def _subsumption(self) -> bool:
+        changed = False
+        sigs = {cid: _signature(c) for cid, c in self._clauses.items()}
+        by_size = sorted(self._clauses, key=lambda cid: len(self._clauses.get(cid, ())))
+        for cid in by_size:
+            clause = self._clauses.get(cid)
+            if clause is None:
+                continue
+            sig = sigs[cid]
+            # Candidates: clauses sharing the least-occurring literal.
+            best_lit = min(clause, key=lambda l: len(self._occur.get(l, set())))
+            for other_id in list(self._occur.get(best_lit, set())):
+                if other_id == cid:
+                    continue
+                other = self._clauses.get(other_id)
+                if other is None or len(other) < len(clause):
+                    continue
+                if sig & ~sigs.get(other_id, 0):
+                    continue
+                if set(clause) <= set(other):
+                    self._remove(other_id)
+                    self.stats.subsumed += 1
+                    changed = True
+            # Self-subsuming resolution: for each literal l in clause, if
+            # (clause \ {l}) ∪ {-l} ⊆ other, drop -l from other.
+            for lit in clause:
+                flipped = tuple(sorted(
+                    [-lit] + [l for l in clause if l != lit], key=abs))
+                fsig = _signature(flipped)
+                for other_id in list(self._occur.get(-lit, set())):
+                    if other_id == cid:
+                        continue
+                    other = self._clauses.get(other_id)
+                    if other is None or len(other) < len(flipped):
+                        continue
+                    if fsig & ~sigs.get(other_id, 0):
+                        continue
+                    if set(flipped) <= set(other):
+                        stronger = tuple(l for l in other if l != -lit)
+                        self._remove(other_id)
+                        new_id = self._store(stronger)
+                        if new_id is not None:
+                            sigs[new_id] = _signature(stronger)
+                        self.stats.strengthened += 1
+                        changed = True
+        return changed
+
+    def _eliminate_variables(self, growth: int) -> bool:
+        changed = False
+        for var in range(1, self.num_vars + 1):
+            if self._unsat:
+                break
+            if var in self._frozen or var in self._fixed:
+                continue
+            pos = [self._clauses[c] for c in self._occur.get(var, set())]
+            neg = [self._clauses[c] for c in self._occur.get(-var, set())]
+            if not pos and not neg:
+                continue
+            if len(pos) * len(neg) > len(pos) + len(neg) + growth + 8:
+                continue  # cheap cutoff before building resolvents
+            resolvents: list[Clause] = []
+            for p in pos:
+                for n in neg:
+                    r = self._resolve(p, n, var)
+                    if r is not None:
+                        resolvents.append(r)
+            if len(resolvents) > len(pos) + len(neg) + growth:
+                continue
+            # Commit: remember removed clauses for model reconstruction.
+            removed = pos + neg
+            self._stack.append((var, removed))
+            for cid in list(self._occur.get(var, set()) | self._occur.get(-var, set())):
+                self._remove(cid)
+            for r in resolvents:
+                self._store(r)
+                self.stats.resolvents_added += 1
+            self.stats.vars_eliminated += 1
+            changed = True
+        return changed
+
+    # -- plumbing -----------------------------------------------------------
+
+    @staticmethod
+    def _resolve(p: Clause, n: Clause, var: int) -> Optional[Clause]:
+        merged: set[int] = set(l for l in p if l != var)
+        for l in n:
+            if l == -var:
+                continue
+            if -l in merged:
+                return None  # tautological resolvent
+            merged.add(l)
+        return tuple(sorted(merged, key=abs))
+
+    def _occur_vars(self) -> set[int]:
+        return {abs(l) for l, occ in self._occur.items() if occ}
+
+    def _store(self, clause: Clause) -> Optional[int]:
+        if self._unsat:
+            return None
+        if not clause:
+            self._unsat = True
+            return None
+        # Apply already-fixed assignments eagerly.
+        out: list[int] = []
+        for lit in clause:
+            val = self._fixed.get(abs(lit))
+            if val is None:
+                out.append(lit)
+            elif val == (lit > 0):
+                return None  # satisfied
+        if not out:
+            self._unsat = True
+            return None
+        cid = self._next_id
+        self._next_id += 1
+        stored = tuple(out)
+        self._clauses[cid] = stored
+        for lit in stored:
+            self._occur.setdefault(lit, set()).add(cid)
+        return cid
+
+    def _remove(self, cid: int) -> None:
+        clause = self._clauses.pop(cid, None)
+        if clause is None:
+            return
+        for lit in clause:
+            occ = self._occur.get(lit)
+            if occ is not None:
+                occ.discard(cid)
+
+    def _assign(self, lit: int) -> None:
+        var = abs(lit)
+        prev = self._fixed.get(var)
+        if prev is not None:
+            if prev != (lit > 0):
+                self._unsat = True
+            return
+        self._fixed[var] = lit > 0
+        for cid in list(self._occur.get(lit, set())):
+            self._remove(cid)
+        for cid in list(self._occur.get(-lit, set())):
+            clause = self._clauses[cid]
+            self._remove(cid)
+            self._store(tuple(l for l in clause if l != -lit))
+
+    def _result(self) -> SimplifyResult:
+        return SimplifyResult(
+            num_vars=self.num_vars,
+            clauses=sorted(self._clauses.values()),
+            unsat=self._unsat,
+            fixed=dict(self._fixed),
+            _stack=list(self._stack),
+            stats=self.stats,
+        )
+
+
+def simplify(num_vars: int, clauses: Iterable[Sequence[int]],
+             rounds: int = 3, frozen: Iterable[int] = (),
+             elimination_growth: int = 0) -> SimplifyResult:
+    """One-call convenience wrapper around :class:`Preprocessor`."""
+    pre = Preprocessor(num_vars, clauses)
+    for var in frozen:
+        pre.freeze(var)
+    return pre.simplify(rounds=rounds, elimination_growth=elimination_growth)

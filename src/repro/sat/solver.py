@@ -1,0 +1,871 @@
+"""CDCL SAT solver with resolution-proof logging.
+
+The solver follows the classic MiniSat architecture.  Internally a literal
+is encoded as ``var << 1 | sign`` (sign 1 = negated); the public API uses
+signed DIMACS-style integers.  Every clause receives an integer id; learned
+clauses record the tuple of clause ids resolved while deriving them
+(including the unit chains behind level-0 literal eliminations), which lets
+:meth:`Solver.core_clause_ids` expand a final conflict into a set of
+original clauses sufficient for unsatisfiability — the paper's
+``SAT_Get_Refutation`` step (Figure 1, line 10) that feeds proof-based
+abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional, Sequence
+
+from repro.utils.luby import luby
+
+
+class _VarOrder:
+    """Indexed max-heap over variable activities (MiniSat's order heap).
+
+    Position tracking keeps each variable in the heap at most once, so
+    backtracking re-inserts cheaply and decisions never wade through
+    stale duplicates.
+    """
+
+    __slots__ = ("activity", "heap", "pos")
+
+    def __init__(self, activity: list[float]) -> None:
+        self.activity = activity
+        self.heap: list[int] = []
+        self.pos: list[int] = [-1]
+
+    def grow(self) -> None:
+        self.pos.append(-1)
+
+    def insert(self, var: int) -> None:
+        if self.pos[var] != -1:
+            return
+        self.heap.append(var)
+        self.pos[var] = len(self.heap) - 1
+        self._sift_up(len(self.heap) - 1)
+
+    def bumped(self, var: int) -> None:
+        p = self.pos[var]
+        if p != -1:
+            self._sift_up(p)
+
+    def pop_max(self) -> int:
+        heap = self.heap
+        top = heap[0]
+        self.pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            self.pos[last] = 0
+            self._sift_down(0)
+        return top
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    def _sift_up(self, i: int) -> None:
+        heap, pos, act = self.heap, self.pos, self.activity
+        v = heap[i]
+        a = act[v]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pv = heap[parent]
+            if act[pv] >= a:
+                break
+            heap[i] = pv
+            pos[pv] = i
+            i = parent
+        heap[i] = v
+        pos[v] = i
+
+    def _sift_down(self, i: int) -> None:
+        heap, pos, act = self.heap, self.pos, self.activity
+        n = len(heap)
+        v = heap[i]
+        a = act[v]
+        while True:
+            left = 2 * i + 1
+            if left >= n:
+                break
+            right = left + 1
+            child = right if right < n and act[heap[right]] > act[heap[left]] else left
+            cv = heap[child]
+            if a >= act[cv]:
+                break
+            heap[i] = cv
+            pos[cv] = i
+            i = child
+        heap[i] = v
+        pos[v] = i
+
+UNASSIGNED = -1
+
+_TRUE = 1
+_FALSE = 0
+
+
+def _to_internal(lit: int) -> int:
+    """Signed DIMACS literal -> internal ``var << 1 | sign`` encoding."""
+    if lit > 0:
+        return lit << 1
+    return (-lit) << 1 | 1
+
+
+def _to_external(ilit: int) -> int:
+    """Internal literal -> signed DIMACS literal."""
+    var = ilit >> 1
+    return -var if ilit & 1 else var
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated over the lifetime of a solver."""
+
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned: int = 0
+    deleted: int = 0
+    solves: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one :meth:`Solver.solve` call."""
+
+    sat: bool
+    #: Subset of the given assumptions sufficient for the conflict when
+    #: ``sat`` is False; empty for plain (assumption-free) UNSAT.
+    failed_assumptions: tuple[int, ...] = ()
+    stats: dict = field(default_factory=dict)
+    #: True when the solve aborted on its conflict budget; ``sat`` is then
+    #: meaningless and callers must treat the result as UNKNOWN.
+    unknown: bool = False
+
+    def __bool__(self) -> bool:  # allows ``if solver.solve(...):``
+        if self.unknown:
+            raise RuntimeError("solve aborted on conflict budget (unknown result)")
+        return self.sat
+
+
+class Solver:
+    """Incremental CDCL solver with optional proof logging.
+
+    Parameters
+    ----------
+    proof:
+        When True, every learned clause stores the ids of the clauses used
+        in its derivation so unsat cores can be extracted.  BMC with PBA
+        requires this; plain falsification runs may disable it to save
+        memory.
+    """
+
+    def __init__(self, proof: bool = True) -> None:
+        self.proof_logging = proof
+        # Variable state (index 0 unused so var numbers match list index).
+        self._assigns: list[int] = [UNASSIGNED]
+        self._levels: list[int] = [0]
+        self._reasons: list[int] = [-1]
+        self._activity: list[float] = [0.0]
+        self._saved_phase: list[int] = [_FALSE]
+        # Watches indexed by internal literal.
+        self._watches: list[list[int]] = [[], []]
+        # Clause database: list of literal-lists (None when deleted).
+        self._clauses: list[Optional[list[int]]] = []
+        self._learned_ids: list[int] = []
+        self._clause_act: dict[int, float] = {}
+        self._labels: dict[int, Hashable] = {}
+        self._n_original = 0
+        # Proof bookkeeping: learned cid -> tuple of antecedent cids.
+        self._derivations: dict[int, tuple[int, ...]] = {}
+        self._simplify_deps: dict[int, tuple[int, ...]] = {}
+        self._l0_memo: dict[int, tuple[int, ...]] = {}
+        # Literals of learned clauses deleted by _reduce_db (proof mode).
+        self._proof_lits: dict[int, tuple[int, ...]] = {}
+        # Trail.
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        # Heuristics.
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 1.0 / 0.999
+        self._order = _VarOrder(self._activity)
+        self._max_learnts = 4000.0
+        self._learnt_growth = 1.1
+        # Terminal state.
+        self._broken = False  # UNSAT without assumptions: solver is dead
+        self._unsat_core_cids: Optional[frozenset[int]] = None
+        self._last_failed: tuple[int, ...] = ()
+        self.stats = SolverStats()
+        # Scratch used by analyze.
+        self._seen: list[bool] = [False]
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable (positive integer)."""
+        self._assigns.append(UNASSIGNED)
+        self._levels.append(0)
+        self._reasons.append(-1)
+        self._activity.append(0.0)
+        self._saved_phase.append(_FALSE)
+        self._watches.append([])
+        self._watches.append([])
+        self._seen.append(False)
+        var = len(self._assigns) - 1
+        self._order.grow()
+        self._order.insert(var)
+        return var
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._assigns) - 1
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of original (non-learned) clauses added so far."""
+        return self._n_original
+
+    @property
+    def is_broken(self) -> bool:
+        """True once the CNF is unsatisfiable even without assumptions."""
+        return self._broken
+
+    def add_clause(self, lits: Iterable[int], label: Hashable = None) -> int:
+        """Add an original clause; returns its clause id.
+
+        ``label`` is an arbitrary hashable provenance tag reported back by
+        :meth:`core_labels` when the clause participates in an unsat core.
+        Returns -1 when the clause is absorbed (tautology or already
+        satisfied at level 0).  Adding the empty clause (or one that closes
+        a level-0 conflict) renders the solver permanently unsatisfiable.
+        """
+        if self._broken:
+            return -1
+        ilits = [_to_internal(l) for l in lits]
+        for l in ilits:
+            if not 1 <= (l >> 1) <= self.num_vars:
+                raise ValueError(f"literal {_to_external(l)} references unknown variable")
+        if self._trail_lim:
+            self._cancel_until(0)
+        # Simplify against level-0 assignments and duplicates.  The ids of
+        # the unit chains that falsified removed literals become part of
+        # this clause's "derivation" so cores stay sufficient.
+        out: list[int] = []
+        seen: set[int] = set()
+        simplify_deps: list[int] = []
+        for l in ilits:
+            v = self._lit_value(l)
+            if v == _TRUE or (l ^ 1) in seen:
+                return -1  # clause already satisfied / tautology
+            if l in seen:
+                continue
+            if v == _FALSE:
+                if self.proof_logging:
+                    simplify_deps.extend(self._explain_level0(l >> 1))
+                continue
+            seen.add(l)
+            out.append(l)
+        cid = len(self._clauses)
+        self._clauses.append(out if out else list(ilits))
+        self._labels[cid] = label
+        self._n_original += 1
+        if not out:
+            # All literals false at level 0.
+            core = {cid}
+            core.update(simplify_deps)
+            self._mark_broken(self._expand_to_originals(core))
+            return cid
+        if simplify_deps:
+            # The stored (simplified) clause is the original one resolved
+            # against the unit chains that falsified the removed literals;
+            # remember those ids so cores that use this clause stay
+            # self-contained.
+            self._simplify_deps[cid] = tuple(set(simplify_deps))
+        if len(out) == 1:
+            if not self._enqueue(out[0], cid):
+                raise AssertionError("unit enqueue cannot conflict after simplification")
+            confl = self._propagate()
+            if confl != -1:
+                core = self._conflict_core_at_level0(confl)
+                self._mark_broken(core)
+            return cid
+        self._attach(cid)
+        return cid
+
+    def solve(self, assumptions: Sequence[int] = (),
+              max_conflicts: Optional[int] = None) -> SolveResult:
+        """Solve under the given assumption literals.
+
+        Returns a :class:`SolveResult`; when unsatisfiable, the core of
+        original clauses used is available through
+        :meth:`core_clause_ids` / :meth:`core_labels` until the next call.
+        ``max_conflicts`` bounds the search; exceeding it yields a result
+        with ``unknown=True``.
+        """
+        self.stats.solves += 1
+        if self._broken:
+            return self._result(False)
+        budget_left = max_conflicts
+        self._last_failed = ()
+        self._unsat_core_cids = None
+        iassumps = [_to_internal(l) for l in assumptions]
+        for l in iassumps:
+            if not 1 <= (l >> 1) <= self.num_vars:
+                raise ValueError(f"assumption {_to_external(l)} references unknown variable")
+        self._cancel_until(0)
+        confl = self._propagate()
+        if confl != -1:
+            self._mark_broken(self._conflict_core_at_level0(confl))
+            return self._result(False)
+
+        restart_n = 0
+        conflicts_budget = luby(restart_n) * 100
+        conflicts_here = 0
+        while True:
+            confl = self._propagate()
+            if confl != -1:
+                self.stats.conflicts += 1
+                conflicts_here += 1
+                if budget_left is not None:
+                    budget_left -= 1
+                    if budget_left <= 0:
+                        self._cancel_until(0)
+                        return SolveResult(sat=False, unknown=True,
+                                           stats=self.stats.snapshot())
+                if self._decision_level() == 0:
+                    self._mark_broken(self._conflict_core_at_level0(confl))
+                    return self._result(False)
+                learnt, bt_level, used = self._analyze(confl)
+                self._cancel_until(bt_level)
+                self._record_learnt(learnt, used)
+                self._decay_activities()
+                continue
+            # No conflict: restart / reduce / decide.
+            if conflicts_here >= conflicts_budget:
+                restart_n += 1
+                conflicts_budget = luby(restart_n) * 100
+                conflicts_here = 0
+                self.stats.restarts += 1
+                self._cancel_until(0)
+                continue
+            if len(self._learned_ids) > self._max_learnts + len(self._trail):
+                self._reduce_db()
+            # Assumption decisions come first, in order.
+            lvl = self._decision_level()
+            if lvl < len(iassumps):
+                p = iassumps[lvl]
+                v = self._lit_value(p)
+                if v == _TRUE:
+                    # Already satisfied: open an empty decision level so
+                    # the index into `iassumps` keeps advancing.
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if v == _FALSE:
+                    self._analyze_final(p)
+                    return self._result(False)
+                self.stats.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(p, -1)
+                continue
+            p = self._pick_branch()
+            if p == -1:
+                return self._result(True)
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(p, -1)
+
+    def model_value(self, lit: int) -> bool:
+        """Truth value of ``lit`` in the model of the last SAT answer.
+
+        Variables the search never assigned (possible for variables created
+        but not constrained) read as False.
+        """
+        return self._lit_value(_to_internal(lit)) == _TRUE
+
+    def model(self) -> dict[int, bool]:
+        """Full model as ``{var: bool}`` for all assigned variables."""
+        out = {}
+        for var in range(1, self.num_vars + 1):
+            a = self._assigns[var]
+            if a != UNASSIGNED:
+                out[var] = a == _TRUE
+        return out
+
+    def core_clause_ids(self) -> frozenset[int]:
+        """Ids of *original* clauses in the last UNSAT answer's core.
+
+        Requires ``proof=True``; raises if no UNSAT answer is pending.
+        """
+        if not self.proof_logging:
+            raise RuntimeError("solver was created with proof logging disabled")
+        if self._unsat_core_cids is None:
+            raise RuntimeError("no unsat core available (last solve was SAT?)")
+        return self._unsat_core_cids
+
+    def core_labels(self) -> set[Hashable]:
+        """Provenance labels of the core clauses (``None`` labels dropped)."""
+        labels = set()
+        for cid in self.core_clause_ids():
+            lab = self._labels.get(cid)
+            if lab is not None:
+                labels.add(lab)
+        return labels
+
+    def clause_label(self, cid: int) -> Hashable:
+        return self._labels.get(cid)
+
+    def failed_assumptions(self) -> tuple[int, ...]:
+        """Assumptions involved in the last UNSAT answer (external lits)."""
+        return self._last_failed
+
+    # -- proof-trace introspection (for repro.sat.proofcheck) ----------
+
+    def is_learned(self, cid: int) -> bool:
+        """True when ``cid`` was derived by conflict analysis."""
+        return cid in self._derivations
+
+    def derivation(self, cid: int) -> Optional[tuple[int, ...]]:
+        """Antecedent clause ids of a learned clause (None for originals).
+
+        The antecedents are the clauses the 1UIP resolution walked through,
+        plus the level-0 unit chains behind eliminated literals; together
+        they imply the learned clause by unit propagation.
+        """
+        return self._derivations.get(cid)
+
+    def learned_clause_ids(self) -> list[int]:
+        """All learned clause ids in derivation order."""
+        return sorted(self._derivations)
+
+    def proof_clause_literals(self, cid: int) -> tuple[int, ...]:
+        """External literals of any clause in the proof trace.
+
+        Works for live clauses and for learned clauses deleted by clause-
+        database reduction (their literals are retained in proof mode).
+        Original clauses return their *stored* form — already simplified
+        against the level-0 assignments present when they were added (the
+        removed literals' unit chains appear as derivation dependencies).
+        """
+        lits = self._clauses[cid]
+        if lits is None:
+            stash = self._proof_lits.get(cid)
+            if stash is None:
+                raise KeyError(f"clause {cid} deleted and not retained "
+                               "(was proof logging enabled?)")
+            lits = stash
+        return tuple(_to_external(l) for l in lits)
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+
+    def _result(self, sat: bool) -> SolveResult:
+        return SolveResult(sat=sat, failed_assumptions=self._last_failed,
+                           stats=self.stats.snapshot())
+
+    def _lit_value(self, ilit: int) -> int:
+        a = self._assigns[ilit >> 1]
+        if a == UNASSIGNED:
+            return UNASSIGNED
+        return a ^ (ilit & 1)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _attach(self, cid: int) -> None:
+        # watches[L] holds the clauses currently watching literal L; they
+        # are revisited when L becomes false.
+        lits = self._clauses[cid]
+        assert lits is not None and len(lits) >= 2
+        self._watches[lits[0]].append(cid)
+        self._watches[lits[1]].append(cid)
+
+    def _enqueue(self, ilit: int, reason: int) -> bool:
+        v = self._lit_value(ilit)
+        if v != UNASSIGNED:
+            return v == _TRUE
+        var = ilit >> 1
+        self._assigns[var] = (ilit & 1) ^ 1
+        self._levels[var] = self._decision_level()
+        self._reasons[var] = reason
+        self._trail.append(ilit)
+        return True
+
+    def _propagate(self) -> int:
+        """Unit propagation; returns conflicting clause id or -1."""
+        trail = self._trail
+        clauses = self._clauses
+        assigns = self._assigns
+        watches = self._watches
+        levels = self._levels
+        reasons = self._reasons
+        while self._qhead < len(trail):
+            p = trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            false_lit = p ^ 1
+            wl = watches[false_lit]
+            i = 0
+            j = 0
+            n = len(wl)
+            lvl = len(self._trail_lim)
+            while i < n:
+                cid = wl[i]
+                i += 1
+                lits = clauses[cid]
+                if lits is None:
+                    continue  # deleted clause; watcher dropped
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                a0 = assigns[first >> 1]
+                if a0 != UNASSIGNED and (a0 ^ (first & 1)) == _TRUE:
+                    wl[j] = cid
+                    j += 1
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    lk = lits[k]
+                    ak = assigns[lk >> 1]
+                    if ak == UNASSIGNED or (ak ^ (lk & 1)) == _TRUE:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        watches[lits[1]].append(cid)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                wl[j] = cid
+                j += 1
+                if a0 == UNASSIGNED:
+                    var = first >> 1
+                    assigns[var] = (first & 1) ^ 1
+                    levels[var] = lvl
+                    reasons[var] = cid
+                    trail.append(first)
+                else:
+                    # Conflict: keep remaining watchers, stop.
+                    while i < n:
+                        wl[j] = wl[i]
+                        j += 1
+                        i += 1
+                    del wl[j:]
+                    self._qhead = len(trail)
+                    return cid
+            del wl[j:]
+        return -1
+
+    def _analyze(self, confl: int) -> tuple[list[int], int, list[int]]:
+        """First-UIP conflict analysis.
+
+        Returns (learned clause literals, backtrack level, antecedent cids).
+        The antecedents include the level-0 unit chains behind eliminated
+        literals so that the recorded derivation is self-contained.
+        """
+        seen = self._seen
+        learnt: list[int] = [0]  # slot 0 reserved for the asserting literal
+        used: list[int] = [confl]
+        path_count = 0
+        p = -1
+        index = len(self._trail)
+        level = self._decision_level()
+        cleanup: list[int] = []
+        reason_cid = confl
+        proof = self.proof_logging
+        while True:
+            lits = self._clauses[reason_cid]
+            assert lits is not None
+            if reason_cid in self._clause_act:
+                self._bump_clause(reason_cid)
+            start = 0 if p == -1 else 1
+            for q in lits[start:]:
+                v = q >> 1
+                if not seen[v]:
+                    if self._levels[v] > 0:
+                        seen[v] = True
+                        cleanup.append(v)
+                        self._bump_var(v)
+                        if self._levels[v] >= level:
+                            path_count += 1
+                        else:
+                            learnt.append(q)
+                    elif proof:
+                        used.extend(self._explain_level0(v))
+            while True:
+                index -= 1
+                p = self._trail[index]
+                if seen[p >> 1]:
+                    break
+            path_count -= 1
+            seen[p >> 1] = False
+            if path_count == 0:
+                break
+            reason_cid = self._reasons[p >> 1]
+            assert reason_cid != -1
+            used.append(reason_cid)
+            rl = self._clauses[reason_cid]
+            assert rl is not None
+            if rl[0] != p:
+                idx = rl.index(p)
+                rl[0], rl[idx] = rl[idx], rl[0]
+        learnt[0] = p ^ 1
+        # Recursive minimization (self-subsumption through reasons).
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            if self._redundant(q, seen, used, cleanup):
+                continue
+            minimized.append(q)
+        learnt = minimized
+        for v in cleanup:
+            seen[v] = False
+        if len(learnt) == 1:
+            bt = 0
+        else:
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self._levels[learnt[i] >> 1] > self._levels[learnt[max_i] >> 1]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt = self._levels[learnt[1] >> 1]
+        return learnt, bt, used
+
+    def _redundant(self, ilit: int, seen: list[bool], used: list[int],
+                   cleanup: list[int]) -> bool:
+        """True if ``ilit`` is implied by other marked literals."""
+        if self._reasons[ilit >> 1] == -1:
+            return False
+        stack = [ilit]
+        local_used: list[int] = []
+        newly_seen: list[int] = []
+        proof = self.proof_logging
+        while stack:
+            l = stack.pop()
+            r = self._reasons[l >> 1]
+            if r == -1:
+                for v in newly_seen:
+                    seen[v] = False
+                return False
+            lits = self._clauses[r]
+            assert lits is not None
+            local_used.append(r)
+            for q in lits:
+                v = q >> 1
+                if v == l >> 1:
+                    continue
+                if seen[v]:
+                    continue
+                if self._levels[v] == 0:
+                    if proof:
+                        local_used.extend(self._explain_level0(v))
+                    continue
+                if self._reasons[v] == -1:
+                    for w in newly_seen:
+                        seen[w] = False
+                    return False
+                seen[v] = True
+                newly_seen.append(v)
+                stack.append(q)
+        used.extend(local_used)
+        cleanup.extend(newly_seen)
+        return True
+
+    def _record_learnt(self, learnt: list[int], used: list[int]) -> None:
+        cid = len(self._clauses)
+        self._clauses.append(list(learnt))
+        self.stats.learned += 1
+        if self.proof_logging:
+            self._derivations[cid] = tuple(set(used))
+        if len(learnt) == 1:
+            if not self._enqueue(learnt[0], cid):
+                raise AssertionError("asserting unit conflicts after backtrack")
+        else:
+            self._learned_ids.append(cid)
+            self._clause_act[cid] = self._cla_inc
+            self._attach(cid)
+            self._enqueue(learnt[0], cid)
+
+    def _explain_level0(self, var: int) -> tuple[int, ...]:
+        """All clause ids whose units explain the level-0 value of ``var``.
+
+        Memoized; level-0 assignments are permanent so the closure never
+        changes once computed.
+        """
+        memo = self._l0_memo
+        got = memo.get(var)
+        if got is not None:
+            return got
+        result: set[int] = set()
+        stack = [var]
+        visited: set[int] = set()
+        while stack:
+            v = stack.pop()
+            if v in visited:
+                continue
+            visited.add(v)
+            cached = memo.get(v)
+            if cached is not None:
+                result.update(cached)
+                continue
+            r = self._reasons[v]
+            if r == -1:
+                continue
+            result.add(r)
+            lits = self._clauses[r]
+            if lits:
+                for q in lits:
+                    if q >> 1 != v:
+                        stack.append(q >> 1)
+        out = tuple(result)
+        memo[var] = out
+        return out
+
+    def _conflict_core_at_level0(self, confl_cid: int) -> frozenset[int]:
+        """Expand a level-0 conflict into original clause ids."""
+        if not self.proof_logging:
+            return frozenset()
+        cids: set[int] = {confl_cid}
+        lits = self._clauses[confl_cid]
+        if lits:
+            for q in lits:
+                cids.update(self._explain_level0(q >> 1))
+        return self._expand_to_originals(cids)
+
+    def _analyze_final(self, p: int) -> None:
+        """Assumption ``p`` is falsified: build failed set and core."""
+        failed_internal = {p}
+        cids: set[int] = set()
+        seen_vars: set[int] = {p >> 1}
+        stack = [p >> 1]
+        while stack:
+            v = stack.pop()
+            r = self._reasons[v]
+            if r == -1:
+                if self._levels[v] > 0:
+                    # A decision: under assumption-first search this is an
+                    # assumption literal (the value actually decided).
+                    a = self._assigns[v]
+                    lit = v << 1 | (0 if a == _TRUE else 1)
+                    failed_internal.add(lit)
+                continue
+            cids.add(r)
+            lits = self._clauses[r]
+            assert lits is not None
+            for q in lits:
+                w = q >> 1
+                if w not in seen_vars:
+                    seen_vars.add(w)
+                    stack.append(w)
+        self._last_failed = tuple(sorted(_to_external(l) for l in failed_internal))
+        if self.proof_logging:
+            self._unsat_core_cids = self._expand_to_originals(cids)
+
+    def _expand_to_originals(self, cids: set[int]) -> frozenset[int]:
+        out: set[int] = set()
+        stack = list(cids)
+        visited: set[int] = set()
+        simplify_deps = self._simplify_deps
+        while stack:
+            cid = stack.pop()
+            if cid in visited or cid < 0:
+                continue
+            visited.add(cid)
+            deriv = self._derivations.get(cid)
+            if deriv is None:
+                out.add(cid)  # original clause
+                extra = simplify_deps.get(cid)
+                if extra:
+                    stack.extend(extra)
+            else:
+                stack.extend(deriv)
+        return frozenset(out)
+
+    def _mark_broken(self, core: frozenset[int]) -> None:
+        self._broken = True
+        if self.proof_logging:
+            self._unsat_core_cids = core
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        assigns = self._assigns
+        saved = self._saved_phase
+        reasons = self._reasons
+        insert = self._order.insert
+        for i in range(len(self._trail) - 1, bound - 1, -1):
+            ilit = self._trail[i]
+            var = ilit >> 1
+            saved[var] = assigns[var]
+            assigns[var] = UNASSIGNED
+            reasons[var] = -1
+            insert(var)
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # -- heuristics ----------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, len(self._activity)):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        self._order.bumped(var)
+
+    def _bump_clause(self, cid: int) -> None:
+        act = self._clause_act.get(cid)
+        if act is None:
+            return
+        act += self._cla_inc
+        self._clause_act[cid] = act
+        if act > 1e20:
+            for c in self._clause_act:
+                self._clause_act[c] *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._var_inc *= self._var_decay
+        self._cla_inc *= self._cla_decay
+
+    def _pick_branch(self) -> int:
+        order = self._order
+        assigns = self._assigns
+        while len(order):
+            var = order.pop_max()
+            if assigns[var] == UNASSIGNED:
+                return var << 1 | (1 if self._saved_phase[var] == _FALSE else 0)
+        return -1
+
+    def _reduce_db(self) -> None:
+        """Remove the lower-activity half of non-reason learned clauses."""
+        self._max_learnts *= self._learnt_growth
+        locked = {self._reasons[l >> 1] for l in self._trail}
+        ids = sorted(self._learned_ids, key=lambda c: self._clause_act.get(c, 0.0))
+        keep: list[int] = []
+        to_delete = len(ids) // 2
+        deleted = 0
+        for cid in ids:
+            lits = self._clauses[cid]
+            if lits is None:
+                continue
+            if deleted < to_delete and cid not in locked and len(lits) > 2:
+                if self.proof_logging:
+                    # Later derivations may cite this clause; keep its
+                    # literals for the proof checker.
+                    self._proof_lits[cid] = tuple(lits)
+                self._clauses[cid] = None  # watcher entries dropped lazily
+                self._clause_act.pop(cid, None)
+                deleted += 1
+                self.stats.deleted += 1
+            else:
+                keep.append(cid)
+        self._learned_ids = keep

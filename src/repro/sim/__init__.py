@@ -1,0 +1,12 @@
+"""Cycle-accurate simulation substrate (S4).
+
+Simulates a :class:`repro.design.Design` with sparse memory contents,
+used to replay and validate BMC counterexamples/witnesses, to drive the
+examples, and as the reference semantics in differential tests against
+both the explicit and the EMM verification paths.
+"""
+
+from repro.sim.simulator import Simulator
+from repro.sim.trace import Trace, write_vcd
+
+__all__ = ["Simulator", "Trace", "write_vcd"]

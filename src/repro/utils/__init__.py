@@ -1,0 +1,6 @@
+"""Small shared helpers (no domain logic lives here)."""
+
+from repro.utils.luby import luby
+from repro.utils.bitvec import int_to_bits, bits_to_int, mask
+
+__all__ = ["luby", "int_to_bits", "bits_to_int", "mask"]

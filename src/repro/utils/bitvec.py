@@ -1,0 +1,27 @@
+"""Bit-vector <-> integer conversions (LSB-first bit lists throughout)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def mask(width: int) -> int:
+    """All-ones mask of ``width`` bits."""
+    return (1 << width) - 1
+
+
+def int_to_bits(value: int, width: int) -> list[bool]:
+    """Little-endian bit decomposition of ``value`` truncated to ``width``."""
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    value &= mask(width)
+    return [bool((value >> i) & 1) for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[bool]) -> int:
+    """Little-endian bit list -> unsigned integer."""
+    out = 0
+    for i, b in enumerate(bits):
+        if b:
+            out |= 1 << i
+    return out

@@ -1,0 +1,23 @@
+"""The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...)."""
+
+from __future__ import annotations
+
+
+def luby(i: int) -> int:
+    """Return the i-th element (0-based) of the Luby sequence.
+
+    Used to schedule SAT-solver restarts; the sequence is optimal for Las
+    Vegas algorithms up to a constant factor.  This is the classic
+    MiniSat formulation with base 2.
+    """
+    if i < 0:
+        raise ValueError("index must be non-negative")
+    size, seq = 1, 0
+    while size < i + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != i:
+        size = (size - 1) >> 1
+        seq -= 1
+        i %= size
+    return 1 << seq

@@ -1,0 +1,132 @@
+"""EMM constraint-size accounting: implementation vs the paper's formulas.
+
+Section 3 and 4.1 give closed-form clause/gate counts; these tests assert
+the constraint generator emits *exactly* those numbers, which is the
+strongest evidence the encoding is the paper's encoding.
+"""
+
+import pytest
+
+from repro.aig import Aig, CnfEmitter
+from repro.bmc.unroller import Unroller
+from repro.design import Design
+from repro.emm import EmmMemory, accounting
+from repro.sat import Solver
+
+
+def make_port_design(aw, dw, r_ports, w_ports, init=0):
+    d = Design("acct")
+    t = d.latch("t", 2, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", aw, dw, read_ports=r_ports, write_ports=w_ports,
+                   init=init)
+    for w in range(w_ports):
+        mem.write(w).connect(addr=d.input(f"wa{w}", aw),
+                             data=d.input(f"wd{w}", dw),
+                             en=d.input(f"we{w}", 1))
+    for r in range(r_ports):
+        mem.read(r).connect(addr=d.input(f"ra{r}", aw), en=d.input(f"re{r}", 1))
+    rd = mem.read(0).data
+    d.invariant("p", rd.ule((1 << dw) - 1))
+    return d
+
+
+def run_frames(design, depth, **emm_kwargs):
+    solver = Solver(proof=False)
+    emitter = CnfEmitter(Aig(), solver)
+    unroller = Unroller(design, emitter)
+    emm = EmmMemory(solver, unroller, "m", **emm_kwargs)
+    for k in range(depth + 1):
+        unroller.add_frame()
+        emm.add_frame(k)
+    return emm
+
+
+@pytest.mark.parametrize("aw,dw", [(2, 2), (3, 5), (5, 8)])
+@pytest.mark.parametrize("w_ports", [1, 2, 3])
+@pytest.mark.parametrize("depth", [0, 1, 4])
+def test_clause_count_matches_formula(aw, dw, w_ports, depth):
+    """Per-depth clauses == ((4m+2n+1)kW + 2n+1) per read port (known init)."""
+    design = make_port_design(aw, dw, r_ports=1, w_ports=w_ports)
+    emm = run_frames(design, depth)
+    frame = emm.counters.per_frame[depth]
+    measured = (frame["addr_eq_clauses"] + frame["rd_clauses"]
+                + frame["valid_clauses"] + frame["init_rd_clauses"])
+    # With a known constant initial word the S_{-1} pair needs only n
+    # clauses instead of the paper's 2n for a symbolic WD_{-1}; adjust.
+    paper = accounting.clauses_per_read_port(depth, w_ports, aw, dw)
+    assert measured == paper - dw
+
+
+@pytest.mark.parametrize("aw,dw", [(3, 4)])
+@pytest.mark.parametrize("w_ports", [1, 2])
+@pytest.mark.parametrize("depth", [0, 2, 5])
+def test_symbolic_init_matches_paper_count(aw, dw, w_ports, depth):
+    """With a symbolic initial word the count matches the paper exactly."""
+    design = make_port_design(aw, dw, r_ports=1, w_ports=w_ports, init=None)
+    emm = run_frames(design, depth, init_consistency=False)
+    frame = emm.counters.per_frame[depth]
+    measured = (frame["addr_eq_clauses"] + frame["rd_clauses"]
+                + frame["valid_clauses"] + frame["init_rd_clauses"])
+    assert measured == accounting.clauses_per_read_port(depth, w_ports, aw, dw)
+
+
+@pytest.mark.parametrize("w_ports", [1, 2, 4])
+@pytest.mark.parametrize("depth", [0, 1, 3, 6])
+def test_gate_count_matches_formula(w_ports, depth):
+    """Exclusivity chain gates == 3kW per read port at depth k."""
+    design = make_port_design(3, 4, r_ports=1, w_ports=w_ports)
+    emm = run_frames(design, depth)
+    frame = emm.counters.per_frame[depth]
+    assert frame["excl_gates"] == accounting.gates_per_read_port(depth, w_ports)
+
+
+@pytest.mark.parametrize("r_ports", [1, 2, 3])
+def test_multi_read_port_multiplier(r_ports):
+    """Totals scale linearly with R (paper: multiply by R)."""
+    depth = 3
+    design = make_port_design(3, 4, r_ports=r_ports, w_ports=2)
+    emm = run_frames(design, depth)
+    frame = emm.counters.per_frame[depth]
+    measured = (frame["addr_eq_clauses"] + frame["rd_clauses"]
+                + frame["valid_clauses"] + frame["init_rd_clauses"])
+    single = accounting.clauses_per_read_port(depth, 2, 3, 4) - 4
+    assert measured == single * r_ports
+    assert frame["excl_gates"] == accounting.gates_per_read_port(depth, 2) * r_ports
+
+
+def test_cumulative_growth_is_quadratic():
+    """Cumulative clauses over depth follow the quadratic closed form."""
+    design = make_port_design(3, 4, r_ports=1, w_ports=1)
+    emm = run_frames(design, 8)
+    c = emm.counters
+    measured_total = (c.addr_eq_clauses + c.rd_clauses + c.valid_clauses
+                      + c.init_rd_clauses)
+    expected = accounting.cumulative_clauses(8, 1, 1, 3, 4) - 9 * 4
+    assert measured_total == expected
+    assert c.excl_gates == accounting.cumulative_gates(8, 1, 1)
+
+
+def test_symbolic_words_per_depth():
+    """Arbitrary init introduces one fresh word per read per frame."""
+    design = make_port_design(3, 4, r_ports=2, w_ports=1, init=None)
+    emm = run_frames(design, 4, init_consistency=True)
+    # k+1 frames, R=2 reads/frame, dw=4 bits per symbolic word.
+    expected_pairs = accounting.init_consistency_pairs_all(5, 2)
+    assert emm.counters.init_pairs == expected_pairs
+
+
+def test_paper_vs_allpairs_formulas():
+    assert accounting.init_consistency_pairs_paper(4, 1) == 0
+    assert accounting.init_consistency_pairs_all(4, 1) == 6
+    assert accounting.init_consistency_pairs_paper(3, 2) == 6
+    assert accounting.init_consistency_pairs_all(3, 2) == 15
+
+
+def test_explicit_state_bits():
+    assert accounting.explicit_model_state_bits(10, 32) == 32768
+    assert accounting.explicit_model_state_bits(3, 4) == 32
+
+
+def test_pure_gate_formula():
+    assert accounting.pure_gate_single_port(5, 10, 32) == (40 + 64 + 2) * 5 + 32

@@ -1,0 +1,156 @@
+"""Tests for the clause-level cardinality and XOR encodings."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import encodings
+from repro.sat.solver import Solver
+
+
+class Collector:
+    """Clause sink + variable allocator backed by a real solver."""
+
+    def __init__(self, num_vars):
+        self.solver = Solver(proof=False)
+        for _ in range(num_vars):
+            self.solver.new_var()
+
+    def add_clause(self, lits):
+        self.solver.add_clause(lits)
+
+    def new_var(self):
+        return self.solver.new_var()
+
+
+def count_models(collector, over_vars):
+    """Enumerate models projected onto ``over_vars`` via blocking clauses."""
+    models = set()
+    while True:
+        r = collector.solver.solve()
+        if not r.sat:
+            break
+        assignment = tuple(collector.solver.model_value(v) for v in over_vars)
+        models.add(assignment)
+        collector.add_clause([
+            -v if collector.solver.model_value(v) else v for v in over_vars])
+    return models
+
+
+def expected_assignments(n, predicate):
+    return {bits for bits in itertools.product([False, True], repeat=n)
+            if predicate(sum(bits))}
+
+
+AMO_ENCODERS = {
+    "pairwise": lambda lits, c: encodings.at_most_one_pairwise(lits, c.add_clause),
+    "sequential": lambda lits, c: encodings.at_most_one_sequential(
+        lits, c.add_clause, c.new_var),
+    "commander": lambda lits, c: encodings.at_most_one_commander(
+        lits, c.add_clause, c.new_var),
+}
+
+
+class TestAtMostOne:
+    @pytest.mark.parametrize("name", sorted(AMO_ENCODERS))
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_amo_semantics(self, name, n):
+        c = Collector(n)
+        lits = list(range(1, n + 1))
+        AMO_ENCODERS[name](lits, c)
+        got = count_models(c, lits)
+        assert got == expected_assignments(n, lambda k: k <= 1)
+
+    def test_sequential_clause_count(self):
+        added = []
+        n = encodings.at_most_one_sequential(
+            [1, 2, 3, 4], added.append, iter(range(10, 100)).__next__)
+        assert n == len(added) == 3 * 4 - 4  # 3n-4 clauses for n=4
+
+    def test_commander_group_validation(self):
+        with pytest.raises(ValueError):
+            encodings.at_most_one_commander([1, 2, 3], print, print, group=1)
+
+    def test_amo_with_negative_literals(self):
+        c = Collector(3)
+        encodings.at_most_one_pairwise([-1, -2, -3], c.add_clause)
+        got = count_models(c, [1, 2, 3])
+        # At most one of the variables may be False.
+        assert got == {bits for bits in itertools.product([False, True], repeat=3)
+                       if sum(1 for b in bits if not b) <= 1}
+
+
+class TestAtMostK:
+    @pytest.mark.parametrize("n,k", [(3, 0), (3, 1), (4, 2), (5, 3), (5, 5)])
+    def test_amk_semantics(self, n, k):
+        c = Collector(n)
+        lits = list(range(1, n + 1))
+        encodings.at_most_k_sequential(lits, k, c.add_clause, c.new_var)
+        got = count_models(c, lits)
+        assert got == expected_assignments(n, lambda cnt: cnt <= k)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            encodings.at_most_k_sequential([1], -1, print, print)
+
+    def test_k_zero_forces_all_false(self):
+        c = Collector(3)
+        encodings.at_most_k_sequential([1, 2, 3], 0, c.add_clause, c.new_var)
+        got = count_models(c, [1, 2, 3])
+        assert got == {(False, False, False)}
+
+
+class TestExactlyOne:
+    @pytest.mark.parametrize("encoding", ["pairwise", "sequential", "commander"])
+    def test_exactly_one(self, encoding):
+        c = Collector(4)
+        lits = [1, 2, 3, 4]
+        encodings.exactly_one(lits, c.add_clause, c.new_var, encoding)
+        got = count_models(c, lits)
+        assert got == expected_assignments(4, lambda k: k == 1)
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ValueError):
+            encodings.exactly_one([1], print, print, "magic")
+
+
+class TestXor:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6, 9])
+    @pytest.mark.parametrize("parity", [False, True])
+    def test_xor_semantics(self, n, parity):
+        c = Collector(n)
+        lits = list(range(1, n + 1))
+        encodings.xor_clauses(lits, parity, c.add_clause, c.new_var)
+        got = count_models(c, lits)
+        assert got == {bits for bits in itertools.product([False, True], repeat=n)
+                       if (sum(bits) % 2 == 1) == parity}
+
+    def test_empty_xor_true_is_unsat(self):
+        c = Collector(1)
+        encodings.xor_clauses([], True, c.add_clause, c.new_var)
+        assert not c.solver.solve().sat
+
+    def test_empty_xor_false_is_sat(self):
+        c = Collector(1)
+        encodings.xor_clauses([], False, c.add_clause, c.new_var)
+        assert c.solver.solve().sat
+
+    def test_xor_chain_with_negated_literals(self):
+        c = Collector(2)
+        encodings.xor_clauses([1, -2], True, c.add_clause, c.new_var)
+        got = count_models(c, [1, 2])
+        assert got == {(True, True), (False, False)}
+
+
+class TestHypothesisCardinality:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=6),
+           k=st.integers(min_value=0, max_value=6))
+    def test_amk_counts(self, n, k):
+        c = Collector(n)
+        lits = list(range(1, n + 1))
+        encodings.at_most_k_sequential(lits, k, c.add_clause, c.new_var)
+        got = count_models(c, lits)
+        assert len(got) == sum(1 for bits in itertools.product(
+            [False, True], repeat=n) if sum(bits) <= k)

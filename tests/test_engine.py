@@ -1,0 +1,149 @@
+"""BMC engine behaviours: options, statuses, reach properties, stats."""
+
+import pytest
+
+from repro.bmc import BmcEngine, BmcOptions, bmc1, bmc2, bmc3, verify
+from repro.design import Design, expand_memories
+
+
+def counter(width=3, init=0):
+    d = Design("cnt")
+    c = d.latch("c", width, init=init)
+    c.next = c.expr + 1
+    return d, c
+
+
+class TestStatuses:
+    def test_proof_forward_on_bounded_counter(self):
+        d, c = counter()
+        d.invariant("lt8", c.expr.ule(7))  # trivially true (3 bits)
+        r = verify(d, "lt8", BmcOptions(max_depth=20))
+        assert r.proved
+
+    def test_cex_with_exact_depth(self):
+        d, c = counter()
+        d.invariant("lt5", c.expr.ult(5))
+        r = verify(d, "lt5", BmcOptions(max_depth=20))
+        assert r.falsified and r.depth == 5
+        assert r.trace_validated is True
+
+    def test_bounded_when_no_proof_possible(self):
+        d = Design("free")
+        x = d.input("x", 4)
+        acc = d.latch("acc", 4, init=0)
+        acc.next = x
+        d.invariant("p", acc.expr.ne(9))
+        r = verify(d, "p", BmcOptions(max_depth=0, find_proof=False))
+        assert r.status == "bounded"
+
+    def test_reach_witness(self):
+        d, c = counter()
+        d.reach("hit6", c.expr.eq(6))
+        r = verify(d, "hit6", BmcOptions(max_depth=20))
+        assert r.falsified  # witness found (CEX status semantics)
+        assert r.depth == 6
+        assert "witness" in r.describe()
+
+    def test_reach_unreachable_proof(self):
+        d, c = counter()
+        d.reach("hit9", c.expr.zext(5).eq(9))  # 3-bit counter: impossible
+        r = verify(d, "hit9", BmcOptions(max_depth=20))
+        assert r.proved
+        assert "unreachable" in r.describe()
+
+    def test_backward_induction_proof(self):
+        # x sticky-at-1 once set; property x=1 -> stays: 1-inductive.
+        d = Design("sticky")
+        inp = d.input("i", 1)
+        x = d.latch("x", 1, init=0)
+        y = d.latch("y", 1, init=0)
+        x.next = x.expr | inp
+        y.next = x.expr
+        d.invariant("mono", ~y.expr | x.expr)
+        r = verify(d, "mono", BmcOptions(max_depth=10))
+        assert r.proved and r.method == "backward"
+
+
+class TestOptions:
+    def test_memories_require_emm(self):
+        d = Design("m")
+        l = d.latch("l", 1, init=0)
+        l.next = l.expr
+        mem = d.memory("mem", 2, 2, init=0)
+        mem.write(0).connect(addr=0, data=0, en=0)
+        mem.read(0).connect(addr=0, en=1)
+        d.invariant("p", l.expr.eq(0))
+        with pytest.raises(ValueError, match="use_emm"):
+            BmcEngine(d, "p", BmcOptions(use_emm=False))
+
+    def test_bmc2_has_no_proof_checks(self):
+        d, c = counter()
+        d.invariant("lt8", c.expr.ule(7))
+        r = verify(d, "lt8", bmc2(max_depth=10))
+        assert r.status == "bounded"  # falsification-only never proves
+
+    def test_presets(self):
+        assert bmc1().use_emm is False and bmc1().find_proof is True
+        assert bmc2().use_emm is True and bmc2().find_proof is False
+        assert bmc3().use_emm and bmc3().find_proof and bmc3().pba
+
+    def test_unknown_property_rejected(self):
+        d, c = counter()
+        d.invariant("p", c.expr.ule(7))
+        with pytest.raises(KeyError):
+            BmcEngine(d, "nope", BmcOptions())
+
+    def test_timeout_status(self):
+        d, c = counter(width=4)
+        d.invariant("p", c.expr.ule(15))
+        r = verify(d, "p", BmcOptions(max_depth=50, timeout_s=0.0))
+        assert r.status in ("timeout", "proof")  # proof may land first
+
+    def test_kept_latches_abstraction(self):
+        # Freeing the only latch makes the bounded invariant falsifiable.
+        d, c = counter(width=3)
+        d.invariant("lt4", c.expr.ult(4))
+        r = verify(d, "lt4", BmcOptions(max_depth=5, find_proof=False,
+                                        kept_latches=frozenset(),
+                                        validate_cex=False))
+        assert r.falsified and r.depth == 0  # free latch: CE immediately
+
+    def test_arbitrary_latch_init_unconstrained(self):
+        d = Design("arb")
+        l = d.latch("l", 3, init=None)
+        l.next = l.expr
+        d.invariant("p", l.expr.ne(5))
+        r = verify(d, "p", BmcOptions(max_depth=3))
+        assert r.falsified and r.depth == 0
+        assert r.trace.init_latches["l"] == 5
+
+
+class TestStats:
+    def test_stats_populated(self):
+        d, c = counter()
+        d.invariant("lt8", c.expr.ule(7))
+        r = verify(d, "lt8", BmcOptions(max_depth=10))
+        assert r.stats.sat_vars > 0
+        assert r.stats.sat_clauses > 0
+        assert r.stats.wall_time_s >= 0
+        assert len(r.stats.time_per_depth) >= 1
+        assert r.stats.peak_rss_mb > 0
+
+    def test_emm_stats_counted(self):
+        d = Design("m")
+        t = d.latch("t", 2, init=0)
+        t.next = t.expr + 1
+        mem = d.memory("mem", 2, 4, init=0)
+        mem.write(0).connect(addr=t.expr, data=d.input("x", 4), en=1)
+        rd = mem.read(0).connect(addr=d.input("a", 2), en=1)
+        d.invariant("p", rd.ule(15))
+        r = verify(d, "p", bmc2(max_depth=4))
+        assert r.stats.emm_clauses > 0
+        assert r.stats.emm_gates > 0
+
+    def test_describe_mentions_status(self):
+        d, c = counter()
+        d.invariant("lt8", c.expr.ule(7))
+        r = verify(d, "lt8", BmcOptions(max_depth=10))
+        assert "lt8" in r.describe()
+        assert "proved" in r.describe() or "induction" in r.describe()

@@ -1,0 +1,213 @@
+"""Tests for miter construction and sequential equivalence checking."""
+
+import pytest
+
+from repro.bmc import BmcOptions
+from repro.design import Design, build_miter, check_equivalence, expand_memories
+from repro.design.equiv import SIDE_SEP, shared_init_groups
+from repro.sim import Simulator
+
+
+def counter(name, step, width=4):
+    d = Design(name)
+    d.input("unused", 1)
+    c = d.latch("c", width, init=0)
+    c.next = c.expr + step
+    return d, c.expr
+
+
+class TestBuildMiter:
+    def test_state_is_prefixed_per_side(self):
+        a, ea = counter("a", 1)
+        b, eb = counter("b", 1)
+        m = build_miter(a, b, [(ea, eb)])
+        assert f"a{SIDE_SEP}c" in m.latches
+        assert f"b{SIDE_SEP}c" in m.latches
+        assert set(m.inputs) == {"unused"}
+
+    def test_properties_created(self):
+        a, ea = counter("a", 1)
+        b, eb = counter("b", 1)
+        m = build_miter(a, b, [(ea, eb), (ea.eq(0), eb.eq(0))])
+        assert set(m.properties) == {"equiv", "equiv_0", "equiv_1"}
+
+    def test_mismatched_inputs_rejected(self):
+        a, ea = counter("a", 1)
+        b = Design("b")
+        b.input("other", 2)
+        l = b.latch("c", 4, init=0)
+        l.next = l.expr
+        with pytest.raises(ValueError, match="input"):
+            build_miter(a, b, [(ea, l.expr)])
+
+    def test_width_mismatch_rejected(self):
+        a, ea = counter("a", 1, width=4)
+        b, eb = counter("b", 1, width=5)
+        with pytest.raises(ValueError, match="width"):
+            build_miter(a, b, [(ea, eb)])
+
+    def test_empty_outputs_rejected(self):
+        a, ea = counter("a", 1)
+        b, eb = counter("b", 1)
+        with pytest.raises(ValueError, match="output"):
+            build_miter(a, b, [])
+
+    def test_foreign_expression_rejected(self):
+        a, ea = counter("a", 1)
+        b, eb = counter("b", 1)
+        with pytest.raises(ValueError, match="belong"):
+            build_miter(a, b, [(eb, ea)])
+
+    def test_miter_simulates(self):
+        a, ea = counter("a", 2)
+        b, eb = counter("b", 2)
+        m = build_miter(a, b, [(ea, eb)])
+        sim = Simulator(m)
+        out = sim.run([{"unused": 0}] * 4)
+        assert all(cyc["props"]["equiv"] == 1 for cyc in out.cycles)
+
+
+class TestCheckEquivalence:
+    def test_equal_counters_bounded(self):
+        a, ea = counter("a", 1)
+        b = Design("b")
+        b.input("unused", 1)
+        k = b.latch("k", 4, init=0)
+        k.next = (k.expr + 3) - 2
+        assert check_equivalence(a, b, [(ea, k.expr)], max_depth=10).status \
+            == "bounded"
+
+    def test_unequal_counters_cex(self):
+        a, ea = counter("a", 1)
+        b, eb = counter("b", 2)
+        r = check_equivalence(a, b, [(ea, eb)], max_depth=10)
+        assert r.status == "cex"
+        assert r.depth == 1  # first divergence one step in
+
+    def test_initial_state_divergence_found_at_depth_zero(self):
+        a, ea = counter("a", 1)
+        b = Design("b")
+        b.input("unused", 1)
+        k = b.latch("c", 4, init=7)
+        k.next = k.expr + 1
+        r = check_equivalence(a, b, [(ea, k.expr)], max_depth=4)
+        assert r.status == "cex"
+        assert r.depth == 0
+
+    def test_proof_via_induction(self):
+        # Same machine on both sides: forward diameter closes quickly.
+        a, ea = counter("a", 1, width=2)
+        b, eb = counter("b", 1, width=2)
+        r = check_equivalence(a, b, [(ea, eb)], max_depth=20, find_proof=True)
+        assert r.status == "proof"
+
+    def test_options_passthrough(self):
+        a, ea = counter("a", 1)
+        b, eb = counter("b", 1)
+        r = check_equivalence(a, b, [(ea, eb)], max_depth=3,
+                              options=BmcOptions(timeout_s=120.0))
+        assert r.status == "bounded"
+
+
+class TestEmmVsExplicit:
+    """EMM and explicit expansion must agree on every design — checked by
+    building the miter of a design against its own expansion."""
+
+    def ring_buffer(self):
+        d = Design("ring")
+        data = d.input("d", 4)
+        push = d.input("push", 1)
+        ptr = d.latch("ptr", 3, init=0)
+        ptr.next = push.ite(ptr.expr + 1, ptr.expr)
+        mem = d.memory("buf", addr_width=3, data_width=4, init=0)
+        mem.write(0).connect(addr=ptr.expr, data=data, en=push)
+        rd = mem.read(0).connect(addr=ptr.expr - 1, en=1)
+        out = d.latch("out", 4, init=0)
+        out.next = rd
+        return d, out.expr
+
+    def test_ring_buffer_matches_expansion(self):
+        d, out = self.ring_buffer()
+        ex = expand_memories(d)
+        r = check_equivalence(d, ex, [(out, ex.latches["out"].expr)],
+                              max_depth=10)
+        assert r.status == "bounded"
+
+    def test_mutated_expansion_detected(self):
+        d, out = self.ring_buffer()
+        ex = expand_memories(d)
+        # Corrupt one expanded word latch's update: equivalence must break.
+        victim = ex.latches["buf::w3"]
+        victim.next = victim.expr + 1
+        r = check_equivalence(d, ex, [(out, ex.latches["out"].expr)],
+                              max_depth=10)
+        assert r.status == "cex"
+
+
+class TestSharedArbitraryInit:
+    def make_reader(self, name, twist=False):
+        d = Design(name)
+        addr = d.input("addr", 3)
+        mem = d.memory("t", addr_width=3, data_width=4, init=None)
+        mem.write(0).connect(addr=d.const(0, 3), data=d.const(0, 4), en=0)
+        rd = mem.read(0).connect(addr=addr, en=1)
+        out = d.latch("o", 4, init=0)
+        out.next = rd + 1 if twist else rd
+        return d, out.expr
+
+    def test_groups_pair_same_named_memories(self):
+        a, __ = self.make_reader("a")
+        b, __ = self.make_reader("b")
+        groups = shared_init_groups(a, b)
+        assert groups == (frozenset({f"a{SIDE_SEP}t", f"b{SIDE_SEP}t"}),)
+
+    def test_known_init_memories_not_grouped(self):
+        a = Design("a")
+        m = a.memory("t", addr_width=2, data_width=2, init=0)
+        m.write(0).connect(addr=a.const(0, 2), data=a.const(0, 2), en=0)
+        m.read(0).connect(addr=a.const(0, 2), en=1)
+        b, __ = self.make_reader("b")
+        assert shared_init_groups(a, b) == ()
+
+    def test_shared_init_makes_readers_equal(self):
+        a, oa = self.make_reader("a")
+        b, ob = self.make_reader("b")
+        r = check_equivalence(a, b, [(oa, ob)], max_depth=6,
+                              share_arbitrary_init=True)
+        assert r.status == "bounded"
+
+    def test_unshared_init_differs(self):
+        a, oa = self.make_reader("a")
+        b, ob = self.make_reader("b")
+        r = check_equivalence(a, b, [(oa, ob)], max_depth=6,
+                              share_arbitrary_init=False)
+        assert r.status == "cex"
+
+    def test_twisted_reader_differs_even_shared(self):
+        a, oa = self.make_reader("a")
+        b, ob = self.make_reader("b", twist=True)
+        r = check_equivalence(a, b, [(oa, ob)], max_depth=6,
+                              share_arbitrary_init=True)
+        assert r.status == "cex"
+
+    def test_bad_group_geometry_rejected(self):
+        from repro.bmc.engine import BmcEngine, BmcOptions
+        d = Design("g")
+        m1 = d.memory("m1", addr_width=2, data_width=2, init=None)
+        m2 = d.memory("m2", addr_width=3, data_width=2, init=None)
+        for m in (m1, m2):
+            m.write(0).connect(addr=d.const(0, m.addr_width),
+                               data=d.const(0, 2), en=0)
+            m.read(0).connect(addr=d.const(0, m.addr_width), en=1)
+        d.invariant("p", d.const(1, 1))
+        opts = BmcOptions(shared_init_memories=(frozenset({"m1", "m2"}),))
+        with pytest.raises(ValueError, match="geometr"):
+            BmcEngine(d, "p", opts)
+
+    def test_unknown_group_member_rejected(self):
+        from repro.bmc.engine import BmcEngine, BmcOptions
+        d = Design("g")
+        d.invariant("p", d.const(1, 1))
+        opts = BmcOptions(shared_init_memories=(frozenset({"nope"}),))
+        with pytest.raises(ValueError, match="not in design"):
+            BmcEngine(d, "p", opts)

@@ -1,0 +1,108 @@
+"""Explicit memory expansion: equivalence against the memory simulator."""
+
+import random
+
+import pytest
+
+from repro.design import Design, expand_memories
+from repro.design.explicit import word_latch_name
+from repro.sim import Simulator
+
+
+def random_workload_design(rng, read_ports=1, write_ports=1, init=0):
+    """A small design exercising a memory through its ports from inputs."""
+    d = Design("wl")
+    aw, dw = 2, 4
+    waddrs = [d.input(f"waddr{w}", aw) for w in range(write_ports)]
+    wdatas = [d.input(f"wdata{w}", dw) for w in range(write_ports)]
+    wens = [d.input(f"wen{w}", 1) for w in range(write_ports)]
+    raddrs = [d.input(f"raddr{r}", aw) for r in range(read_ports)]
+    cnt = d.latch("cnt", 3, init=0)
+    cnt.next = cnt.expr + 1
+    mem = d.memory("m", aw, dw, read_ports=read_ports,
+                   write_ports=write_ports, init=init)
+    for w in range(write_ports):
+        mem.write(w).connect(addr=waddrs[w], data=wdatas[w], en=wens[w])
+    rds = [mem.read(r).connect(addr=raddrs[r], en=1) for r in range(read_ports)]
+    acc = d.latch("acc", dw, init=0)
+    acc.next = rds[0]
+    d.invariant("probe", acc.expr.ule((1 << dw) - 1))
+    return d, rds
+
+
+def random_inputs(rng, design, cycles):
+    seq = []
+    for _ in range(cycles):
+        vec = {}
+        for inp in design.inputs.values():
+            vec[inp.name] = rng.randrange(0, 1 << inp.width)
+        seq.append(vec)
+    return seq
+
+
+class TestExpansion:
+    def test_structure(self):
+        d, __ = random_workload_design(random.Random(0))
+        ex = expand_memories(d)
+        assert not ex.memories
+        assert word_latch_name("m", 0) in ex.latches
+        assert ex.num_latch_bits() == d.num_latch_bits() + d.num_memory_bits()
+        # original latches and inputs preserved
+        assert set(d.inputs) <= set(ex.inputs)
+        assert set(d.latches) <= set(ex.latches)
+        assert set(d.properties) == set(ex.properties)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("ports", [(1, 1), (2, 1), (1, 2), (3, 2)])
+    def test_simulation_equivalence(self, seed, ports):
+        rng = random.Random(seed)
+        read_ports, write_ports = ports
+        d, __ = random_workload_design(rng, read_ports, write_ports)
+        ex = expand_memories(d)
+        inputs = random_inputs(rng, d, 24)
+        sim_a = Simulator(d)
+        sim_b = Simulator(ex)
+        for vec in inputs:
+            sim_a.step(vec)
+            sim_b.step(vec)
+            assert sim_a.latches["acc"] == sim_b.latches["acc"]
+            # every expanded word latch mirrors the sparse memory contents
+            for a in range(4):
+                expected = sim_a.memories["m"].get(a, 0)
+                assert sim_b.latches[word_latch_name("m", a)] == expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_uniform_init_equivalence(self, seed):
+        rng = random.Random(seed + 100)
+        d, __ = random_workload_design(rng, init=5)
+        ex = expand_memories(d)
+        inputs = random_inputs(rng, d, 16)
+        ta = Simulator(d).run(inputs)
+        tb = Simulator(ex).run(inputs)
+        for ca, cb in zip(ta.cycles, tb.cycles):
+            assert ca["latches"]["acc"] == cb["latches"]["acc"]
+
+    def test_arbitrary_init_maps_to_free_latches(self):
+        d = Design("t")
+        l = d.latch("l", 1)
+        l.next = l.expr
+        mem = d.memory("m", 2, 4, init=None)
+        mem.write(0).connect(addr=0, data=0, en=0)
+        mem.read(0).connect(addr=0, en=1)
+        ex = expand_memories(d)
+        for a in range(4):
+            assert ex.latches[word_latch_name("m", a)].init is None
+
+    def test_explicit_contents_equivalence_with_injected_memory(self):
+        rng = random.Random(7)
+        d, __ = random_workload_design(rng, init=None)
+        ex = expand_memories(d)
+        contents = {a: rng.randrange(16) for a in range(4)}
+        init_latches = {word_latch_name("m", a): v for a, v in contents.items()}
+        inputs = random_inputs(rng, d, 20)
+        ta = Simulator(d, init_memories={"m": contents}).run(inputs)
+        tb = Simulator(ex, init_latches=init_latches).run(inputs)
+        for ca, cb in zip(ta.cycles, tb.cycles):
+            assert ca["latches"]["acc"] == cb["latches"]["acc"]
+
+

@@ -1,0 +1,140 @@
+"""FIFO and stack-machine teaching designs."""
+
+import random
+
+import pytest
+
+from repro.bmc import BmcOptions, bmc2, bmc3, verify
+from repro.casestudies.fifo import FifoParams, build_fifo
+from repro.casestudies.stack_machine import (OP_NOP, OP_POP, OP_PUSH,
+                                             StackMachineParams,
+                                             build_stack_machine)
+from repro.sim import Simulator
+
+FIFO_PARAMS = FifoParams(addr_width=2, data_width=4)
+STACK_PARAMS = StackMachineParams(addr_width=2, data_width=4)
+
+
+class TestFifoSimulation:
+    def test_push_pop_order(self):
+        d = build_fifo(FIFO_PARAMS)
+        sim = Simulator(d)
+        for v in (3, 7, 9):
+            sim.step({"push": 1, "data_in": v})
+        assert sim.latches["count"] == 3
+        rd = d.memories["buf"].read(0).data
+        popped = []
+        for _ in range(3):
+            sim.begin_cycle({"pop": 1})
+            popped.append(sim.eval(rd))
+            sim.commit_cycle()
+        assert popped == [3, 7, 9]
+        assert sim.latches["count"] == 0
+
+    def test_full_blocks_push(self):
+        d = build_fifo(FIFO_PARAMS)
+        sim = Simulator(d)
+        for v in range(6):
+            sim.step({"push": 1, "data_in": v})
+        assert sim.latches["count"] == 4  # depth 2^2
+
+    def test_random_against_model(self):
+        rng = random.Random(9)
+        d = build_fifo(FIFO_PARAMS)
+        sim = Simulator(d)
+        rd = d.memories["buf"].read(0).data
+        model = []
+        for _ in range(200):
+            push = rng.randint(0, 1)
+            pop = rng.randint(0, 1)
+            data = rng.randrange(16)
+            sim.begin_cycle({"push": push, "pop": pop, "data_in": data})
+            do_push = push and len(model) < 4
+            do_pop = pop and len(model) > 0
+            if do_pop:
+                assert sim.eval(rd) == model[0]
+            sim.commit_cycle()
+            if do_pop:
+                model.pop(0)
+            if do_push:
+                model.append(data)
+            assert sim.latches["count"] == len(model)
+
+
+class TestFifoVerification:
+    def test_count_bounded_proved(self):
+        r = verify(build_fifo(FIFO_PARAMS), "count_bounded",
+                   bmc3(max_depth=12, pba=False))
+        assert r.proved, r.describe()
+
+    def test_empty_full_exclusive_proved(self):
+        r = verify(build_fifo(FIFO_PARAMS), "empty_full_exclusive",
+                   bmc3(max_depth=12, pba=False))
+        assert r.proved, r.describe()
+
+    def test_can_fill_witness(self):
+        r = verify(build_fifo(FIFO_PARAMS), "can_fill", bmc2(max_depth=8))
+        assert r.falsified and r.depth == 4  # 4 pushes
+        assert r.trace_validated is True
+
+    def test_data_integrity_holds_within_bound(self):
+        r = verify(build_fifo(FIFO_PARAMS), "data_integrity",
+                   bmc2(max_depth=10))
+        assert r.status == "bounded"  # no violation
+
+    def test_data_integrity_mutation_caught(self):
+        """Corrupting the write address must violate data integrity."""
+        p = FIFO_PARAMS
+        d = build_fifo(p)
+        mem = d.memories["buf"]
+        port = mem.write_ports[0]
+        # re-wire the write to a shifted slot
+        port.addr = port.addr + 1
+        r = verify(d, "data_integrity", bmc2(max_depth=10))
+        assert r.falsified
+        assert r.trace_validated is True
+
+
+class TestStackMachine:
+    def test_simulation(self):
+        d = build_stack_machine(STACK_PARAMS)
+        sim = Simulator(d)
+        sim.step({"op": OP_PUSH, "data_in": 5})
+        sim.step({"op": OP_PUSH, "data_in": 9})
+        assert sim.latches["sp"] == 2
+        rd = d.memories["stk"].read(0).data
+        sim.begin_cycle({"op": OP_POP})
+        assert sim.eval(rd) == 9
+        sim.commit_cycle()
+        assert sim.latches["sp"] == 1
+
+    def test_underflow_guarded(self):
+        d = build_stack_machine(STACK_PARAMS)
+        sim = Simulator(d)
+        sim.step({"op": OP_POP})
+        assert sim.latches["sp"] == 0
+
+    def test_roundtrip_proved_by_induction(self):
+        """EMM's 1-step forwarding makes push;pop provable."""
+        r = verify(build_stack_machine(STACK_PARAMS), "push_pop_roundtrip",
+                   bmc3(max_depth=10, pba=False))
+        assert r.proved, r.describe()
+
+    def test_sp_in_range_proved(self):
+        r = verify(build_stack_machine(STACK_PARAMS), "sp_in_range",
+                   bmc3(max_depth=10, pba=False))
+        assert r.proved, r.describe()
+
+    def test_depth3_witness(self):
+        r = verify(build_stack_machine(STACK_PARAMS), "can_reach_depth3",
+                   bmc2(max_depth=6))
+        assert r.falsified and r.depth == 3
+
+    def test_roundtrip_mutation_caught(self):
+        """Returning stack[sp] instead of stack[sp-1] must fail."""
+        p = STACK_PARAMS
+        d = build_stack_machine(p)
+        port = d.memories["stk"].read_ports[0]
+        port.addr = port.addr + 1  # off-by-one read address
+        r = verify(d, "push_pop_roundtrip", bmc2(max_depth=8))
+        assert r.falsified

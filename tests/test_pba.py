@@ -1,0 +1,122 @@
+"""Proof-based abstraction: latch reasons, stability, memory abstraction."""
+
+import pytest
+
+from repro.bmc import BmcOptions, verify
+from repro.design import Design
+from repro.pba import run_pba_phase, verify_with_pba
+
+
+def two_cone_design():
+    """A design with a relevant and an irrelevant half.
+
+    Memory `rel` feeds the property; memory `junk` (and the latches
+    driving it) are disconnected from it.  PBA must keep `rel` and drop
+    `junk`.
+    """
+    d = Design("cones")
+    data = d.input("data", 4)
+    # relevant cone: a capped write into `rel`, property reads it back
+    rel_addr = d.latch("rel_addr", 2, init=0)
+    rel_addr.next = rel_addr.expr + 1
+    rel = d.memory("rel", 2, 4, init=0)
+    capped = data.ult(4).ite(data, d.const(0, 4))
+    rel.write(0).connect(addr=rel_addr.expr, data=capped, en=1)
+    rel_rd = rel.read(0).connect(addr=d.input("ra", 2), en=1)
+    # irrelevant cone: a separate counter drives `junk`
+    junk_addr = d.latch("junk_addr", 2, init=0)
+    junk_addr.next = junk_addr.expr + 3
+    junk = d.memory("junk", 2, 4, init=0)
+    junk.write(0).connect(addr=junk_addr.expr, data=data, en=1)
+    junk.read(0).connect(addr=junk_addr.expr, en=1)
+    d.invariant("rel_lt4", rel_rd.ult(4))
+    return d
+
+
+class TestLatchReasons:
+    def test_reasons_accumulate_monotonically(self):
+        d = two_cone_design()
+        r = verify(d, "rel_lt4", BmcOptions(max_depth=5, pba=True,
+                                            find_proof=False))
+        assert r.status == "bounded"
+        lr = r.latch_reasons
+        assert len(lr) == 6
+        for a, b in zip(lr, lr[1:]):
+            assert a <= b
+
+    def test_irrelevant_latch_not_in_reasons(self):
+        d = two_cone_design()
+        r = verify(d, "rel_lt4", BmcOptions(max_depth=5, pba=True,
+                                            find_proof=False))
+        assert "junk_addr" not in r.latch_reasons[-1]
+
+    def test_memory_reasons_tracked(self):
+        d = two_cone_design()
+        r = verify(d, "rel_lt4", BmcOptions(max_depth=5, pba=True,
+                                            find_proof=False))
+        assert "rel" in r.memory_reasons[-1]
+        assert "junk" not in r.memory_reasons[-1]
+
+
+class TestPhase:
+    def test_phase_drops_irrelevant_memory(self):
+        d = two_cone_design()
+        phase = run_pba_phase(d, "rel_lt4", stability_depth=3, max_depth=20)
+        assert phase.stable
+        assert "junk" in phase.abstracted_memories
+        assert "rel" in phase.kept_memories
+        assert "junk_addr" not in phase.latch_reasons
+        assert phase.kept_latch_bits < phase.orig_latch_bits
+
+    def test_phase_reports_cex(self):
+        d = Design("bad")
+        c = d.latch("c", 3, init=0)
+        c.next = c.expr + 1
+        d.invariant("lt3", c.expr.ult(3))
+        phase = run_pba_phase(d, "lt3", stability_depth=3, max_depth=10)
+        assert phase.cex_result is not None
+        assert phase.cex_result.depth == 3
+
+    def test_unstable_phase_flagged(self):
+        # A counter whose reason set keeps growing within the bound.
+        d = Design("grow")
+        c = d.latch("c", 4, init=0)
+        c.next = c.expr + 1
+        d.invariant("lt16", c.expr.ule(15))
+        phase = run_pba_phase(d, "lt16", stability_depth=50, max_depth=4)
+        assert not phase.stable
+
+
+class TestFullFlow:
+    def test_proof_on_reduced_model(self):
+        d = two_cone_design()
+        outcome = verify_with_pba(d, "rel_lt4", stability_depth=3,
+                                  abstraction_max_depth=20,
+                                  proof_max_depth=30)
+        assert outcome.status == "proof"
+        assert "junk" in outcome.phase.abstracted_memories
+        assert outcome.proof_result.proved
+
+    def test_cex_short_circuits(self):
+        d = Design("bad")
+        c = d.latch("c", 3, init=0)
+        c.next = c.expr + 1
+        d.invariant("lt3", c.expr.ult(3))
+        outcome = verify_with_pba(d, "lt3", stability_depth=3,
+                                  abstraction_max_depth=10)
+        assert outcome.status == "cex"
+        assert outcome.proof_result.depth == 3
+
+    def test_proof_transfers_from_abstraction(self):
+        """The reduced model over-approximates, so its proof is sound.
+
+        Cross-check: the property also holds on the concrete design.
+        """
+        d = two_cone_design()
+        outcome = verify_with_pba(d, "rel_lt4", stability_depth=3,
+                                  abstraction_max_depth=20,
+                                  proof_max_depth=30)
+        assert outcome.status == "proof"
+        concrete = verify(two_cone_design(), "rel_lt4",
+                          BmcOptions(max_depth=12))
+        assert concrete.proved

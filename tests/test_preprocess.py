@@ -1,0 +1,224 @@
+"""Tests for the SatELite-style CNF preprocessor."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.preprocess import Preprocessor, simplify
+from repro.sat.solver import Solver
+
+
+def brute_force_models(num_vars, clauses):
+    """All satisfying assignments by exhaustive enumeration."""
+    models = []
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        ok = all(any(assignment[abs(l)] == (l > 0) for l in c)
+                 for c in clauses)
+        if ok:
+            models.append(assignment)
+    return models
+
+
+def solve_with_preprocessing(num_vars, clauses, **kw):
+    """Simplify, solve the remainder, reconstruct a full model (or None)."""
+    res = simplify(num_vars, clauses, **kw)
+    if res.unsat:
+        return None, res
+    solver = Solver(proof=False)
+    for _ in range(num_vars):
+        solver.new_var()
+    for c in res.clauses:
+        solver.add_clause(c)
+    if not solver.solve().sat:
+        return None, res
+    model = {v: solver.model_value(v) for v in range(1, num_vars + 1)}
+    return res.extend_model(model), res
+
+
+class TestUnits:
+    def test_unit_propagation_fixes_variable(self):
+        res = simplify(2, [[1], [-1, 2]])
+        assert res.fixed == {1: True, 2: True}
+        assert res.clauses == []
+
+    def test_conflicting_units_unsat(self):
+        res = simplify(1, [[1], [-1]])
+        assert res.unsat
+
+    def test_unit_chain(self):
+        res = simplify(4, [[1], [-1, 2], [-2, 3], [-3, 4]])
+        assert res.fixed == {1: True, 2: True, 3: True, 4: True}
+        assert res.stats.units_propagated >= 4
+
+
+class TestPureLiterals:
+    def test_pure_positive_removes_clauses(self):
+        res = simplify(2, [[1, 2], [1, -2]])
+        # 1 is pure positive: both clauses satisfied, 2 becomes free.
+        assert res.fixed[1] is True
+        assert res.clauses == []
+
+    def test_pure_literal_not_applied_to_frozen(self):
+        pre = Preprocessor(3, [[1, 2], [1, 3]])
+        for v in (1, 2, 3):
+            pre.freeze(v)
+        res = pre.simplify()
+        assert 1 not in res.fixed
+        assert len(res.clauses) == 2
+
+
+class TestSubsumption:
+    def test_subsumed_clause_removed(self):
+        pre = Preprocessor(3, [[1, 2], [1, 2, 3]])
+        pre.freeze(1), pre.freeze(2), pre.freeze(3)
+        res = pre.simplify()
+        assert (1, 2) in res.clauses
+        assert all(set(c) != {1, 2, 3} for c in res.clauses)
+        assert res.stats.subsumed == 1
+
+    def test_self_subsuming_resolution_strengthens(self):
+        # (1 2) and (-1 2 3): second strengthens to (2 3).
+        pre = Preprocessor(3, [[1, 2], [-1, 2, 3]])
+        for v in (1, 2, 3):
+            pre.freeze(v)
+        res = pre.simplify()
+        assert res.stats.strengthened >= 1
+        assert (2, 3) in res.clauses
+
+    def test_duplicate_clause_subsumed(self):
+        pre = Preprocessor(2, [[1, 2], [2, 1]])
+        pre.freeze(1), pre.freeze(2)
+        res = pre.simplify()
+        assert len(res.clauses) == 1
+
+
+class TestVariableElimination:
+    def test_single_occurrence_variable_eliminated(self):
+        # 3 occurs once in each polarity: 1 resolvent replaces 2 clauses
+        # (1 and 2 are frozen so pure-literal reasoning stays out).
+        res = simplify(3, [[1, 3], [-3, 2]], frozen=[1, 2])
+        assert res.stats.vars_eliminated >= 1
+        assert (1, 2) in res.clauses
+
+    def test_frozen_variable_survives(self):
+        pre = Preprocessor(3, [[1, 3], [-3, 2]])
+        pre.freeze(3), pre.freeze(1), pre.freeze(2)
+        res = pre.simplify()
+        assert res.stats.vars_eliminated == 0
+
+    def test_elimination_preserves_satisfiability(self):
+        clauses = [[1, 2, 3], [-1, 2], [1, -2], [-3, 1, 2]]
+        model, res = solve_with_preprocessing(3, clauses)
+        assert model is not None
+        for c in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in c)
+
+
+class TestTautologyAndEdges:
+    def test_tautology_dropped_on_add(self):
+        pre = Preprocessor(2, [[1, -1, 2]])
+        assert pre.simplify().clauses == []
+
+    def test_empty_clause_is_unsat(self):
+        pre = Preprocessor(1)
+        pre.add_clause([])
+        assert pre.simplify().unsat
+
+    def test_bad_literal_rejected(self):
+        pre = Preprocessor(1)
+        with pytest.raises(ValueError):
+            pre.add_clause([2])
+        with pytest.raises(ValueError):
+            pre.add_clause([0])
+
+    def test_empty_cnf_is_sat(self):
+        res = simplify(3, [])
+        assert not res.unsat
+        assert res.extend_model({}) == {}
+
+
+class TestModelReconstruction:
+    def test_extend_model_rejects_bad_model(self):
+        pre = Preprocessor(2, [[1], [2, -1]])
+        pre.freeze(1), pre.freeze(2)
+        res = pre.simplify()
+        assert res.fixed == {1: True, 2: True}
+        # Fixed assignments win; a contradicting input is overridden,
+        # but a bad assignment to a surviving clause variable raises.
+        res2 = simplify(2, [[1, 2]], frozen=[1, 2])
+        with pytest.raises(ValueError):
+            res2.extend_model({1: False, 2: False})
+
+    def test_reconstruction_after_elimination(self):
+        clauses = [[1, 2], [-2, 3], [-1, 3], [3, 4], [-4, -3]]
+        model, res = solve_with_preprocessing(4, clauses)
+        assert model is not None
+        for c in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in c), (c, model)
+
+
+def random_cnf(rng, num_vars, num_clauses, max_width=3):
+    return [
+        [rng.choice([-1, 1]) * rng.randint(1, num_vars)
+         for _ in range(rng.randint(1, max_width))]
+        for _ in range(num_clauses)
+    ]
+
+
+class TestEquisatisfiabilityFuzz:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_preprocess_preserves_satisfiability(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(2, 6)
+        clauses = random_cnf(rng, num_vars, rng.randint(1, 14))
+        expected = bool(brute_force_models(num_vars, clauses))
+        model, res = solve_with_preprocessing(num_vars, clauses)
+        assert (model is not None) == expected
+        if model is not None:
+            for c in clauses:
+                assert any(model[abs(l)] == (l > 0) for l in c)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_growth_budget_still_sound(self, seed):
+        rng = random.Random(1000 + seed)
+        num_vars = rng.randint(2, 6)
+        clauses = random_cnf(rng, num_vars, rng.randint(1, 12))
+        expected = bool(brute_force_models(num_vars, clauses))
+        model, __ = solve_with_preprocessing(num_vars, clauses,
+                                             elimination_growth=4, rounds=5)
+        assert (model is not None) == expected
+
+
+@st.composite
+def cnf_instances(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=5))
+    num_clauses = draw(st.integers(min_value=0, max_value=10))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = [draw(st.integers(min_value=1, max_value=num_vars))
+                  * draw(st.sampled_from([-1, 1])) for _ in range(width)]
+        clauses.append(clause)
+    return num_vars, clauses
+
+
+class TestHypothesis:
+    @settings(max_examples=60, deadline=None)
+    @given(cnf_instances())
+    def test_equisatisfiable(self, instance):
+        num_vars, clauses = instance
+        expected = bool(brute_force_models(num_vars, clauses))
+        model, __ = solve_with_preprocessing(num_vars, clauses)
+        assert (model is not None) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(cnf_instances())
+    def test_reconstructed_model_satisfies_original(self, instance):
+        num_vars, clauses = instance
+        model, __ = solve_with_preprocessing(num_vars, clauses)
+        if model is not None:
+            for c in clauses:
+                assert any(model.get(abs(l), False) == (l > 0) for l in c)

@@ -1,0 +1,117 @@
+"""Quicksort case study: simulation correctness, BMC proofs, Table 2 PBA."""
+
+import random
+
+import pytest
+
+from repro.bmc import BmcOptions, bmc3, verify
+from repro.casestudies.quicksort import (HALT, QuicksortParams,
+                                         build_quicksort)
+from repro.design import memory_control_latches
+from repro.pba import minimize_reasons, run_pba_phase
+from repro.sim import Simulator
+
+TINY = QuicksortParams(n=2, addr_width=3, data_width=3, stack_addr_width=3)
+SMALL = QuicksortParams(n=3, addr_width=3, data_width=3, stack_addr_width=3)
+
+
+def run_to_halt(params, values, max_cycles=600):
+    design = build_quicksort(params)
+    sim = Simulator(design, init_memories={
+        "arr": {i: v for i, v in enumerate(values)}})
+    p1 = design.properties["P1"].expr
+    p2 = design.properties["P2"].expr
+    for cycle in range(max_cycles):
+        sim.begin_cycle({})
+        assert sim.eval(p1) == 1, f"P1 fails at {cycle} for {values}"
+        assert sim.eval(p2) == 1, f"P2 fails at {cycle} for {values}"
+        if sim.latches["pc"] == HALT:
+            return [sim.memories["arr"].get(i, 0) for i in range(params.n)]
+        sim.commit_cycle()
+    raise AssertionError(f"no HALT for {values}")
+
+
+class TestAlgorithm:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_sorts_random_arrays(self, seed, n):
+        rng = random.Random(seed * 10 + n)
+        params = QuicksortParams(n=n, addr_width=4, data_width=6,
+                                 stack_addr_width=4)
+        values = [rng.randrange(0, 64) for _ in range(n)]
+        assert run_to_halt(params, values) == sorted(values)
+
+    @pytest.mark.parametrize("values", [
+        [0, 0], [7, 0], [1, 2, 3], [3, 2, 1], [5, 5, 5], [0, 7, 0, 7]])
+    def test_sorts_adversarial_arrays(self, values):
+        params = QuicksortParams(n=len(values), addr_width=4, data_width=3,
+                                 stack_addr_width=4)
+        assert run_to_halt(params, values) == sorted(values)
+
+    def test_design_stats(self):
+        d = build_quicksort(SMALL)
+        assert len(d.memories) == 2
+        assert d.memories["arr"].init is None  # arbitrary initial array
+        assert d.memories["stack"].init is None
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            QuicksortParams(n=1)
+        with pytest.raises(ValueError):
+            QuicksortParams(n=8, addr_width=3)
+        with pytest.raises(ValueError):
+            QuicksortParams(n=5, addr_width=4, stack_addr_width=3)
+
+
+class TestControlLatchSeparation:
+    def test_array_control_is_interface_registers(self):
+        d = build_quicksort(SMALL)
+        control = memory_control_latches(d, "arr")
+        assert control == {"arr_raddr", "arr_re", "arr_waddr",
+                           "arr_wdata", "arr_we"}
+
+    def test_stack_control_is_interface_registers(self):
+        d = build_quicksort(SMALL)
+        control = memory_control_latches(d, "stack")
+        assert control == {"stk_raddr", "stk_re", "stk_waddr",
+                           "stk_wdata", "stk_we"}
+
+
+@pytest.mark.slow
+class TestVerification:
+    def test_p1_proof_tiny(self):
+        r = verify(build_quicksort(TINY), "P1", bmc3(max_depth=30, pba=False))
+        assert r.proved, r.describe()
+        assert r.method == "forward"
+
+    def test_p2_proof_tiny(self):
+        r = verify(build_quicksort(TINY), "P2", bmc3(max_depth=30, pba=False))
+        assert r.proved, r.describe()
+
+    def test_p1_falsifiable_when_checker_inverted(self):
+        # Mutation check: flipping the comparison must yield a real CE.
+        d = build_quicksort(TINY)
+        bad = ~d.properties["P1"].expr
+        d.invariant("P1_bad", bad | d.latches["flag_valid"].expr.eq(0))
+        r = verify(d, "P1_bad", BmcOptions(find_proof=False, max_depth=30))
+        assert r.falsified
+        assert r.trace_validated is True
+
+    def test_p2_pba_abstracts_array(self):
+        """Table 2's headline: the array module drops out for P2.
+
+        Raw unsat cores are sufficient but not minimal — they may or may
+        not include an array control latch — so the pipeline applies
+        deletion-based minimization before deciding memory abstraction.
+        """
+        design = build_quicksort(TINY)
+        phase = run_pba_phase(design, "P2", stability_depth=4, max_depth=24)
+        res = minimize_reasons(design, "P2", phase.latch_reasons,
+                               depth=phase.stable_depth,
+                               kept_memories=phase.kept_memories,
+                               kept_read_ports=phase.kept_read_ports,
+                               granularity="memory")
+        assert "arr" in res.dropped_memories, sorted(res.latches)
+        assert "stack" in res.memories
+        kept_bits = sum(design.latches[n].width for n in res.latches)
+        assert kept_bits < design.num_latch_bits()

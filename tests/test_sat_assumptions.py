@@ -1,0 +1,151 @@
+"""Property tests for assumption handling and incremental solving.
+
+The BMC engine leans on three solver behaviours: (1) assumption-based
+solving never poisons the clause database — the same solver answers
+differently under different assumption sets; (2) ``failed_assumptions``
+is a genuine refutation subset — asserting exactly those literals as
+units in a fresh solver is UNSAT; (3) clauses may be added between
+solves and earlier answers stay valid for the weaker formula.  These
+tests pin all three down, with randomized instances cross-checked
+against brute force.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat.solver import Solver
+
+
+def make_solver(num_vars, clauses, proof=True):
+    s = Solver(proof=proof)
+    for _ in range(num_vars):
+        s.new_var()
+    for c in clauses:
+        s.add_clause(c)
+    return s
+
+
+def brute_sat(num_vars, clauses, units=()):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assign = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        if any(assign[abs(l)] != (l > 0) for l in units):
+            continue
+        if all(any(assign[abs(l)] == (l > 0) for l in c) for c in clauses):
+            return True
+    return False
+
+
+def random_cnf(rng, num_vars, num_clauses):
+    return [[rng.choice([-1, 1]) * rng.randint(1, num_vars)
+             for _ in range(rng.randint(1, 3))] for _ in range(num_clauses)]
+
+
+class TestAssumptionSemantics:
+    def test_alternating_assumption_sets(self):
+        s = make_solver(3, [[-1, 2], [-2, 3]])
+        assert s.solve([1]).sat
+        assert not s.solve([1, -3]).sat
+        assert s.solve([1]).sat          # earlier UNSAT did not stick
+        assert s.solve([-1, -3]).sat
+        assert not s.solve([2, -3]).sat
+
+    def test_model_respects_assumptions(self):
+        s = make_solver(4, [[1, 2, 3, 4]])
+        assert s.solve([-1, -2, -3]).sat
+        assert s.model_value(4)
+        assert not s.model_value(1)
+
+    def test_failed_assumptions_subset(self):
+        s = make_solver(4, [[-1, 2], [-2, 3], [-3, 4]])
+        r = s.solve([1, -4, 2])
+        assert not r.sat
+        assert set(r.failed_assumptions) <= {1, -4, 2}
+
+    def test_failed_assumptions_refute(self):
+        """The failed set alone (as units) must already be UNSAT."""
+        rng = random.Random(5)
+        for _ in range(20):
+            nv = rng.randint(3, 6)
+            cls = random_cnf(rng, nv, rng.randint(2, 12))
+            assumps = sorted({rng.choice([-1, 1]) * rng.randint(1, nv)
+                              for _ in range(rng.randint(1, 3))})
+            s = make_solver(nv, cls)
+            if s.is_broken:
+                continue
+            r = s.solve(assumps)
+            expected = brute_sat(nv, cls, assumps)
+            assert r.sat == expected
+            if not r.sat and r.failed_assumptions:
+                assert not brute_sat(nv, cls, r.failed_assumptions)
+
+    def test_contradictory_assumptions(self):
+        s = make_solver(2, [[1, 2]])
+        r = s.solve([1, -1])
+        assert not r.sat
+        assert set(r.failed_assumptions) == {1, -1}
+
+    def test_repeated_assumption_ok(self):
+        s = make_solver(2, [[1, 2]])
+        assert s.solve([1, 1, 2]).sat
+
+
+class TestIncrementalAddition:
+    def test_add_after_solve(self):
+        s = make_solver(3, [[1, 2]])
+        assert s.solve().sat
+        s.add_clause([-1])
+        s.add_clause([-2])
+        assert not s.solve().sat
+        assert s.is_broken
+
+    def test_tightening_under_assumptions(self):
+        s = make_solver(3, [[1, 2, 3]])
+        assert s.solve([-1]).sat
+        s.add_clause([-2])
+        assert s.solve([-1]).sat       # 3 still saves it
+        s.add_clause([-3])
+        assert not s.solve([-1]).sat   # only 1 left, assumed away
+        assert s.solve([1]).sat        # but the formula itself lives
+
+    def test_new_vars_between_solves(self):
+        s = make_solver(2, [[1, 2]])
+        assert s.solve().sat
+        v = s.new_var()
+        s.add_clause([-v, -1])
+        s.add_clause([v])
+        assert s.solve().sat
+        assert not s.model_value(1) or not s.model_value(v)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_incremental_matches_monolithic(self, seed):
+        """Adding clauses in two batches == adding them all at once."""
+        rng = random.Random(100 + seed)
+        nv = rng.randint(3, 6)
+        batch1 = random_cnf(rng, nv, rng.randint(1, 8))
+        batch2 = random_cnf(rng, nv, rng.randint(1, 8))
+        incremental = make_solver(nv, batch1)
+        incremental.solve()
+        for c in batch2:
+            incremental.add_clause(c)
+        got = incremental.solve().sat if not incremental.is_broken else False
+        expected = brute_sat(nv, batch1 + batch2)
+        assert got == expected
+
+
+class TestBrokenSolver:
+    def test_broken_stays_broken(self):
+        s = make_solver(1, [[1], [-1]])
+        assert s.is_broken
+        assert not s.solve().sat
+        assert not s.solve([1]).sat
+        assert s.add_clause([1]) == -1  # further additions are absorbed
+
+    def test_core_available_when_broken(self):
+        s = make_solver(2, [[1], [2], [-1, -2]])
+        assert s.is_broken
+        core = s.core_clause_ids()
+        assert core  # the three clauses (or a subset) explain it
+        lits = [s.proof_clause_literals(c) for c in sorted(core)]
+        assert not brute_sat(2, lits)

@@ -1,0 +1,147 @@
+"""Tests for simulator-driven counterexample minimization."""
+
+import pytest
+
+from repro.bmc import BmcOptions, shrink_trace, verify
+from repro.bmc.shrink import TraceShrinker
+from repro.design import Design
+from repro.sim import Simulator
+
+
+def trigger_design():
+    """Fails only when input `a` is 3 while armed; `b` is pure noise."""
+    d = Design("trigger")
+    a = d.input("a", 4)
+    d.input("b", 8)
+    armed = d.latch("armed", 1, init=0)
+    armed.next = d.const(1, 1)
+    bad = d.latch("bad", 1, init=0)
+    bad.next = bad.expr | (armed.expr & a.eq(3))
+    d.invariant("safe", bad.expr.eq(0))
+    return d
+
+
+def cex_for(design, prop, depth=10):
+    r = verify(design, prop, BmcOptions(find_proof=False, max_depth=depth))
+    assert r.status == "cex"
+    return r.trace
+
+
+class TestBasicShrinking:
+    def test_noise_input_zeroed(self):
+        d = trigger_design()
+        trace = cex_for(d, "safe")
+        res = shrink_trace(d, "safe", trace)
+        for cyc in res.trace.cycles:
+            assert cyc["inputs"]["b"] == 0
+
+    def test_failure_preserved(self):
+        d = trigger_design()
+        res = shrink_trace(d, "safe", cex_for(d, "safe"))
+        shr = TraceShrinker(d, "safe")
+        assert shr.fails(res.trace.inputs_sequence(),
+                         res.trace.init_latches,
+                         res.trace.init_memories) is not None
+
+    def test_trace_truncated_at_failure(self):
+        d = trigger_design()
+        trace = cex_for(d, "safe", depth=10)
+        res = shrink_trace(d, "safe", trace)
+        assert len(res.trace) == res.failure_cycle + 1
+        # Earliest violation of this design is cycle 2 (arm, fire, observe).
+        assert res.failure_cycle == 2
+
+    def test_essential_input_survives(self):
+        d = trigger_design()
+        res = shrink_trace(d, "safe", cex_for(d, "safe"))
+        fire_cycle = res.failure_cycle - 1
+        assert res.trace.cycles[fire_cycle]["inputs"]["a"] == 3
+
+    def test_log_records_changes(self):
+        d = trigger_design()
+        res = shrink_trace(d, "safe", cex_for(d, "safe"))
+        assert res.applied <= res.attempted
+        assert all(isinstance(line, str) for line in res.log)
+
+    def test_passing_trace_rejected(self):
+        d = trigger_design()
+        sim = Simulator(d)
+        good = sim.run([{"a": 0, "b": 0}] * 3)
+        with pytest.raises(ValueError, match="does not violate"):
+            shrink_trace(d, "safe", good)
+
+
+class TestInitLatchShrinking:
+    def test_arbitrary_init_latch_zeroed_when_irrelevant(self):
+        d = Design("init_noise")
+        noise = d.latch("noise", 8, init=None)
+        noise.next = noise.expr
+        c = d.latch("c", 3, init=0)
+        c.next = c.expr + 1
+        d.invariant("p", c.expr.ne(5))
+        trace = cex_for(d, "p", depth=8)
+        res = shrink_trace(d, "p", trace)
+        assert res.trace.init_latches.get("noise", 0) == 0
+
+    def test_essential_init_latch_kept_nonzero(self):
+        d = Design("init_need")
+        seed = d.latch("seed", 4, init=None)
+        seed.next = seed.expr
+        d.invariant("p", seed.expr.ne(9))
+        trace = cex_for(d, "p", depth=3)
+        res = shrink_trace(d, "p", trace)
+        assert res.trace.init_latches["seed"] == 9
+
+
+class TestMemoryShrinking:
+    def memory_design(self):
+        d = Design("mem_shrink")
+        addr = d.input("addr", 3)
+        mem = d.memory("m", addr_width=3, data_width=4, init=None)
+        mem.write(0).connect(addr=d.const(0, 3), data=d.const(0, 4), en=0)
+        rd = mem.read(0).connect(addr=addr, en=1)
+        seen = d.latch("seen", 1, init=0)
+        seen.next = seen.expr | rd.eq(11)
+        d.invariant("p", seen.expr.eq(0))
+        return d
+
+    def test_irrelevant_memory_words_dropped(self):
+        d = self.memory_design()
+        trace = cex_for(d, "p", depth=6)
+        # Inflate the initial contents with noise entries.
+        trace.init_memories.setdefault("m", {})
+        for a in range(8):
+            trace.init_memories["m"].setdefault(a, 5)
+        res = shrink_trace(d, "p", trace)
+        contents = res.trace.init_memories["m"]
+        assert len(contents) == 1  # only the address that reads 11 remains
+        assert 11 in contents.values()
+
+    def test_declared_rom_words_never_dropped(self):
+        d = Design("romkeep")
+        pc = d.latch("pc", 2, init=0)
+        pc.next = pc.expr + 1
+        rom = d.memory("r", addr_width=2, data_width=4, init=None,
+                       init_words={1: 7})
+        rom.write(0).connect(addr=d.const(0, 2), data=d.const(0, 4), en=0)
+        rd = rom.read(0).connect(addr=pc.expr, en=1)
+        hit = d.latch("hit", 1, init=0)
+        hit.next = hit.expr | rd.eq(7)
+        d.invariant("p", hit.expr.eq(0))
+        trace = cex_for(d, "p", depth=5)
+        res = shrink_trace(d, "p", trace)
+        assert res.trace.init_memories["r"].get(1) == 7
+
+
+class TestValueShrinking:
+    def test_large_values_pushed_down(self):
+        d = Design("magnitude")
+        v = d.input("v", 8)
+        big = d.latch("big", 1, init=0)
+        big.next = big.expr | v.uge(10)
+        d.invariant("p", big.expr.eq(0))
+        trace = cex_for(d, "p", depth=4)
+        res = shrink_trace(d, "p", trace)
+        fire = res.failure_cycle - 1
+        # 10 is the smallest value that still violates; halving stops there.
+        assert res.trace.cycles[fire]["inputs"]["v"] in range(10, 20)

@@ -1,0 +1,158 @@
+"""Tests for the reference simulator's cycle semantics."""
+
+import pytest
+
+from repro.design import Design
+from repro.sim import Simulator
+
+
+def counter_design():
+    d = Design("cnt")
+    en = d.input("en", 1)
+    c = d.latch("c", 4, init=2)
+    c.next = en.ite(c.expr + 1, c.expr)
+    d.invariant("small", c.expr.ult(10))
+    return d
+
+
+class TestLatches:
+    def test_initial_values(self):
+        sim = Simulator(counter_design())
+        assert sim.latches["c"] == 2
+
+    def test_step_semantics(self):
+        sim = Simulator(counter_design())
+        sim.step({"en": 1})
+        assert sim.latches["c"] == 3
+        sim.step({"en": 0})
+        assert sim.latches["c"] == 3
+
+    def test_wraparound(self):
+        sim = Simulator(counter_design())
+        for _ in range(20):
+            sim.step({"en": 1})
+        assert sim.latches["c"] == (2 + 20) % 16
+
+    def test_arbitrary_init_override(self):
+        d = Design("t")
+        l = d.latch("l", 4, init=None)
+        l.next = l.expr
+        sim = Simulator(d, init_latches={"l": 9})
+        assert sim.latches["l"] == 9
+        sim2 = Simulator(d)
+        assert sim2.latches["l"] == 0
+
+    def test_missing_inputs_default_zero(self):
+        sim = Simulator(counter_design())
+        sim.step({})
+        assert sim.latches["c"] == 2
+
+
+class TestMemories:
+    def make(self, init=0):
+        d = Design("m")
+        waddr = d.input("waddr", 2)
+        wdata = d.input("wdata", 8)
+        we = d.input("we", 1)
+        raddr = d.input("raddr", 2)
+        l = d.latch("dummy", 1)
+        l.next = l.expr
+        mem = d.memory("mem", 2, 8, init=init)
+        mem.write(0).connect(addr=waddr, data=wdata, en=we)
+        rd = mem.read(0).connect(addr=raddr, en=1)
+        d.invariant("probe", rd.eq(0))
+        self.rd = rd
+        return d
+
+    def test_write_visible_next_cycle(self):
+        d = self.make()
+        sim = Simulator(d)
+        sim.begin_cycle({"waddr": 1, "wdata": 0xAB, "we": 1, "raddr": 1})
+        # Same-cycle read must NOT see the write.
+        assert sim.eval(self.rd) == 0
+        sim.commit_cycle()
+        sim.begin_cycle({"raddr": 1})
+        assert sim.eval(self.rd) == 0xAB
+
+    def test_uniform_init(self):
+        d = self.make(init=7)
+        sim = Simulator(d)
+        sim.begin_cycle({"raddr": 3})
+        assert sim.eval(self.rd) == 7
+
+    def test_injected_contents(self):
+        d = self.make(init=None)
+        sim = Simulator(d, init_memories={"mem": {2: 0x55}})
+        sim.begin_cycle({"raddr": 2})
+        assert sim.eval(self.rd) == 0x55
+        sim.commit_cycle()
+        sim.begin_cycle({"raddr": 3})
+        assert sim.eval(self.rd) == 0  # unlisted arbitrary-init defaults to 0
+
+    def test_read_enable_off_reads_zero(self):
+        d = Design("m")
+        raddr = d.input("raddr", 2)
+        en = d.input("en", 1)
+        l = d.latch("dummy", 1)
+        l.next = l.expr
+        mem = d.memory("mem", 2, 8, init=3)
+        mem.write(0).connect(addr=0, data=0, en=0)
+        rd = mem.read(0).connect(addr=raddr, en=en)
+        sim = Simulator(d)
+        sim.begin_cycle({"raddr": 1, "en": 0})
+        assert sim.eval(rd) == 0
+        sim.begin_cycle({"raddr": 1, "en": 1})
+        assert sim.eval(rd) == 3
+
+    def test_multi_write_port_priority(self):
+        d = Design("m")
+        l = d.latch("dummy", 1)
+        l.next = l.expr
+        mem = d.memory("mem", 2, 8, write_ports=2)
+        # Both ports write address 0 in the same cycle; port 1 must win.
+        mem.write(0).connect(addr=0, data=0x11, en=1)
+        mem.write(1).connect(addr=0, data=0x22, en=1)
+        rd = mem.read(0).connect(addr=0, en=1)
+        sim = Simulator(d)
+        sim.step({})
+        sim.begin_cycle({})
+        assert sim.eval(rd) == 0x22
+
+    def test_chained_read_ports(self):
+        d = Design("m")
+        l = d.latch("dummy", 1)
+        l.next = l.expr
+        mem = d.memory("mem", 2, 2, read_ports=2)
+        mem.write(0).connect(addr=0, data=0, en=0)
+        rd0 = mem.read(0).connect(addr=1, en=1)
+        mem.read(1).connect(addr=rd0, en=1)
+        rd1 = mem.read(1).data
+        sim = Simulator(d, init_memories={"mem": {1: 3, 3: 2}})
+        sim.begin_cycle({})
+        assert sim.eval(rd0) == 3
+        assert sim.eval(rd1) == 2
+
+
+class TestRun:
+    def test_trace_records(self):
+        d = counter_design()
+        sim = Simulator(d)
+        trace = sim.run([{"en": 1}, {"en": 1}, {"en": 0}])
+        assert len(trace) == 3
+        assert [c["latches"]["c"] for c in trace.cycles] == [2, 3, 4]
+        assert all(c["props"]["small"] == 1 for c in trace.cycles)
+
+    def test_check_property_at(self):
+        d = Design("t")
+        c = d.latch("c", 4, init=0)
+        c.next = c.expr + 1
+        d.invariant("lt3", c.expr.ult(3))
+        sim = Simulator(d)
+        vals = sim.check_property_at("lt3", [{}] * 5)
+        assert vals == [1, 1, 1, 0, 0]
+
+    def test_format_table(self):
+        d = counter_design()
+        trace = Simulator(d).run([{"en": 1}] * 2)
+        table = trace.format_table()
+        assert "cycle" in table and "en" in table and "c" in table

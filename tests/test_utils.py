@@ -1,0 +1,45 @@
+"""Unit tests for shared helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.utils import bits_to_int, int_to_bits, luby, mask
+
+
+class TestLuby:
+    def test_prefix(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+                    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 16]
+        assert [luby(i) for i in range(len(expected))] == expected
+
+    def test_values_are_powers_of_two(self):
+        for i in range(200):
+            v = luby(i)
+            assert v & (v - 1) == 0 and v >= 1
+
+    def test_peak_positions(self):
+        # Element at index 2^k - 2 is 2^(k-1).
+        for k in range(1, 8):
+            assert luby((1 << k) - 2) == 1 << (k - 1)
+
+
+class TestBitvec:
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 255
+
+    def test_roundtrip_simple(self):
+        assert int_to_bits(5, 4) == [True, False, True, False]
+        assert bits_to_int([True, False, True, False]) == 5
+
+    @given(st.integers(min_value=0, max_value=2**20), st.integers(1, 24))
+    def test_roundtrip_masks(self, value, width):
+        assert bits_to_int(int_to_bits(value, width)) == value & mask(width)
+
+    def test_truncation(self):
+        assert bits_to_int(int_to_bits(0x1FF, 8)) == 0xFF
+
+    def test_negative_width_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            int_to_bits(1, -1)

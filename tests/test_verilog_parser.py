@@ -1,0 +1,391 @@
+"""Tests for the Verilog frontend, including write->parse roundtrips."""
+
+import io
+
+import pytest
+
+from repro.bmc import BmcOptions, verify
+from repro.design import (Design, VerilogError, check_equivalence,
+                          parse_verilog, write_verilog)
+from repro.design.verilog_parser import tokenize, _parse_sized_literal
+from repro.sim import Simulator
+
+COUNTER = """
+module counter (clk, rst, en, prop_small);
+  input clk;
+  input rst;
+  input en;
+  output prop_small;
+  reg [3:0] count;
+  always @(posedge clk) begin
+    if (rst) begin
+      count <= 4'd0;
+    end else begin
+      if (en) count <= count + 4'd1;
+    end
+  end
+  assign prop_small = count < 4'd15;
+endmodule
+"""
+
+
+class TestTokenizer:
+    def test_comments_skipped(self):
+        toks = tokenize("a // line\n b /* block\nmore */ c")
+        assert [t.text for t in toks] == ["a", "b", "c"]
+
+    def test_line_numbers_tracked(self):
+        toks = tokenize("a\nb\n  c")
+        assert [t.line for t in toks] == [1, 2, 3]
+
+    def test_sized_literals(self):
+        assert _parse_sized_literal("8'hFF", 1) == (255, 8)
+        assert _parse_sized_literal("4'b1010", 1) == (10, 4)
+        assert _parse_sized_literal("10'd512", 1) == (512, 10)
+
+    def test_literal_overflow_rejected(self):
+        with pytest.raises(VerilogError, match="overflow"):
+            _parse_sized_literal("2'd7", 1)
+
+    def test_xz_literals_rejected(self):
+        with pytest.raises(VerilogError, match="x/z"):
+            _parse_sized_literal("4'bxx00", 1)
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(VerilogError, match="unexpected character"):
+            tokenize("a $$ b" if False else 'a " b')
+
+
+class TestBasicParsing:
+    def test_counter_shape(self):
+        d = parse_verilog(COUNTER)
+        assert d.name == "counter"
+        assert set(d.inputs) == {"en"}
+        assert d.latches["count"].width == 4
+        assert d.latches["count"].init == 0
+        assert set(d.properties) == {"small"}
+
+    def test_counter_simulates(self):
+        d = parse_verilog(COUNTER)
+        sim = Simulator(d)
+        out = sim.run([{"en": 1}] * 5)
+        assert out.cycles[-1]["latches"]["count"] == 4
+
+    def test_counter_property_verifies(self):
+        d = parse_verilog(COUNTER)
+        r = verify(d, "small", BmcOptions(find_proof=False, max_depth=16))
+        assert r.status == "cex"  # count does reach 15
+        assert r.depth == 15
+
+    def test_gated_update_respected(self):
+        d = parse_verilog(COUNTER)
+        sim = Simulator(d)
+        out = sim.run([{"en": 0}] * 3)
+        assert out.cycles[-1]["latches"]["count"] == 0
+
+    def test_arbitrary_init_when_unreset(self):
+        # Without the reset idiom the register has arbitrary init.
+        d = parse_verilog("""
+module free_counter (clk, rst, en, prop_small);
+  input clk; input rst; input en;
+  output prop_small;
+  reg [3:0] count;
+  always @(posedge clk) begin
+    if (en) count <= count + 4'd1;
+  end
+  assign prop_small = count < 4'd15;
+endmodule
+""")
+        assert d.latches["count"].init is None
+
+
+class TestExpressions:
+    def make(self, rhs, width=4, extra_decl=""):
+        return parse_verilog(f"""
+module t (clk, rst, a, b, prop_p);
+  input clk; input rst;
+  input [3:0] a;
+  input [3:0] b;
+  output prop_p;
+  {extra_decl}
+  reg [{width - 1}:0] r;
+  always @(posedge clk) begin
+    if (rst) begin r <= {width}'d0; end
+    else begin r <= {rhs}; end
+  end
+  assign prop_p = r == {width}'d0;
+endmodule
+""")
+
+    def sim_step(self, design, a, b):
+        sim = Simulator(design)
+        out = sim.run([{"a": a, "b": b}, {"a": 0, "b": 0}])
+        return out.cycles[-1]["latches"]["r"]
+
+    def test_arith_and_logic(self):
+        d = self.make("(a + b) ^ (a & b) | ~b")
+        expected = ((10 + 5) ^ (10 & 5) | (~5 & 0xF)) & 0xF
+        assert self.sim_step(d, 10, 5) == expected
+
+    def test_comparisons(self):
+        d = self.make("{3'd0, a < b}")
+        assert self.sim_step(d, 2, 9) == 1
+        assert self.sim_step(d, 9, 2) == 0
+
+    def test_ternary_and_unsized_literal(self):
+        d = self.make("a == b ? 4'd3 : 4'd8")
+        assert self.sim_step(d, 5, 5) == 3
+        assert self.sim_step(d, 5, 6) == 8
+
+    def test_part_select_and_concat(self):
+        d = self.make("{a[1:0], b[3:2]}")
+        assert self.sim_step(d, 0b0110, 0b1000) == 0b1010
+
+    def test_bit_select(self):
+        d = self.make("{3'd0, a[2]}")
+        assert self.sim_step(d, 0b0100, 0) == 1
+
+    def test_wire_reference(self):
+        d = self.make("sum", extra_decl="wire [3:0] sum = a + b;")
+        assert self.sim_step(d, 3, 4) == 7
+
+    def test_logical_ops_on_words(self):
+        d = self.make("{3'd0, a && b}")
+        assert self.sim_step(d, 4, 2) == 1
+        assert self.sim_step(d, 0, 2) == 0
+
+    def test_unary_minus(self):
+        d = self.make("-a")
+        assert self.sim_step(d, 3, 0) == (16 - 3)
+
+
+class TestMemories:
+    MEM = """
+module memo (clk, rst, waddr, wdata, wen, raddr, prop_p);
+  input clk; input rst;
+  input [2:0] waddr;
+  input [3:0] wdata;
+  input wen;
+  input [2:0] raddr;
+  output prop_p;
+  reg [3:0] store [0:7];
+  reg [3:0] snapshot;
+  always @(posedge clk) begin
+    if (rst) begin
+      snapshot <= 4'd0;
+    end else begin
+      snapshot <= store[raddr];
+      if (wen) store[waddr] <= wdata;
+    end
+  end
+  assign prop_p = snapshot == 4'd0;
+endmodule
+"""
+
+    def test_memory_declared(self):
+        d = parse_verilog(self.MEM)
+        mem = d.memories["store"]
+        assert mem.addr_width == 3
+        assert mem.data_width == 4
+        assert mem.init is None
+        assert mem.num_read_ports == 1
+        assert mem.num_write_ports == 1
+
+    def test_memory_simulates(self):
+        d = parse_verilog(self.MEM)
+        sim = Simulator(d, init_memories={"store": {}})
+        seq = [
+            {"waddr": 3, "wdata": 9, "wen": 1, "raddr": 0},
+            {"waddr": 0, "wdata": 0, "wen": 0, "raddr": 3},
+            {"waddr": 0, "wdata": 0, "wen": 0, "raddr": 3},
+        ]
+        out = sim.run(seq)
+        assert out.cycles[-1]["latches"]["snapshot"] == 9
+
+    def test_two_writes_two_ports(self):
+        src = self.MEM.replace(
+            "if (wen) store[waddr] <= wdata;",
+            "if (wen) store[waddr] <= wdata;\n"
+            "      if (!wen) store[3'd0] <= 4'd1;")
+        d = parse_verilog(src)
+        assert d.memories["store"].num_write_ports == 2
+
+    def test_distinct_read_addresses_distinct_ports(self):
+        src = self.MEM.replace("snapshot <= store[raddr];",
+                               "snapshot <= store[raddr] ^ store[3'd1];")
+        d = parse_verilog(src)
+        assert d.memories["store"].num_read_ports == 2
+
+    def test_same_address_shares_port(self):
+        src = self.MEM.replace("snapshot <= store[raddr];",
+                               "snapshot <= store[raddr] ^ store[raddr];")
+        d = parse_verilog(src)
+        assert d.memories["store"].num_read_ports == 1
+
+    def test_non_power_of_two_depth_rejected(self):
+        with pytest.raises(VerilogError, match="power of two"):
+            parse_verilog(self.MEM.replace("[0:7]", "[0:6]"))
+
+    def test_read_only_in_property_gets_real_port(self):
+        """Regression: a read appearing only in a property assign (never
+        in a register's next-state cone) must still wire a live port."""
+        d = parse_verilog("""
+module proprd (clk, rst, waddr, wdata, wen, prop_zero);
+  input clk; input rst;
+  input [2:0] waddr;
+  input [3:0] wdata;
+  input wen;
+  output prop_zero;
+  reg [3:0] store [0:7];
+  reg dummy;
+  always @(posedge clk) begin
+    if (rst) begin dummy <= 1'd0; end
+    else begin
+      dummy <= 1'd1;
+      if (wen) store[waddr] <= wdata;
+    end
+  end
+  assign prop_zero = store[3'd2] == 4'd0;
+endmodule
+""")
+        port = d.memories["store"].read(0)
+        assert port.en is not None and port.en.kind == "const"
+        assert port.en.payload == 1  # live, always-enabled
+        # Write 5 to address 2: the property must be falsifiable.
+        r = verify(d, "zero", BmcOptions(find_proof=False, max_depth=4))
+        assert r.status == "cex"
+
+    def test_initial_block_roundtrips_uniform_init(self):
+        """Known-init memories dump full contents; the parsed design
+        preserves read-before-write semantics exactly."""
+        src = Design("u")
+        ptr = src.latch("ptr", 2, init=0)
+        ptr.next = ptr.expr + 1
+        mem = src.memory("m", addr_width=2, data_width=4, init=7,
+                         init_words={2: 1})
+        mem.write(0).connect(addr=src.const(0, 2), data=src.const(0, 4), en=0)
+        rd = mem.read(0).connect(addr=ptr.expr, en=1)
+        out = src.latch("out", 4, init=0)
+        out.next = rd
+        src.invariant("p", src.const(1, 1))
+        buf = io.StringIO()
+        write_verilog(buf, src)
+        parsed = parse_verilog(buf.getvalue())
+        assert parsed.memories["m"].init_words == {0: 7, 1: 7, 2: 1, 3: 7}
+        sim = Simulator(parsed)
+        t = sim.run([{}] * 4)
+        assert [c["latches"]["out"] for c in t.cycles] == [0, 7, 7, 1]
+
+
+class TestErrors:
+    def test_blocking_assign_rejected(self):
+        with pytest.raises(VerilogError, match="blocking"):
+            parse_verilog(COUNTER.replace("count <= count + 4'd1",
+                                          "count = count + 4'd1"))
+
+    def test_negedge_rejected(self):
+        with pytest.raises(VerilogError, match="posedge clk"):
+            parse_verilog(COUNTER.replace("posedge clk", "negedge clk"))
+
+    def test_unknown_identifier_located(self):
+        with pytest.raises(VerilogError, match="unknown identifier"):
+            parse_verilog(COUNTER.replace("count + 4'd1", "bogus + 4'd1"))
+
+    def test_unsized_literal_without_context(self):
+        with pytest.raises(VerilogError, match="unsized"):
+            parse_verilog("""
+module t (clk, rst, prop_p);
+  input clk; input rst;
+  output prop_p;
+  reg r;
+  always @(posedge clk) begin r <= 1 == 1; end
+  assign prop_p = r;
+endmodule
+""")
+
+    def test_width_overflow_rejected(self):
+        with pytest.raises(VerilogError, match="does not fit"):
+            parse_verilog(COUNTER.replace("count + 4'd1", "{count, count}"))
+
+    def test_indexed_write_to_scalar_rejected(self):
+        with pytest.raises(VerilogError, match="non-memory"):
+            parse_verilog(COUNTER.replace("count <= count + 4'd1",
+                                          "count[0] <= 1'd1"))
+
+    def test_missing_endmodule(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("module t (clk); input clk;")
+
+
+class TestFormalBlock:
+    def test_cover_becomes_reach(self):
+        src = COUNTER.replace("endmodule", """
+`ifdef FORMAL
+  always @(posedge clk) begin
+    if (!rst) cover (prop_small);
+  end
+`endif
+endmodule""")
+        d = parse_verilog(src)
+        assert d.properties["small"].kind == "reach"
+
+    def test_assert_becomes_invariant(self):
+        src = COUNTER.replace("endmodule", """
+`ifdef FORMAL
+  always @(posedge clk) begin
+    if (!rst) assert (prop_small);
+  end
+`endif
+endmodule""")
+        d = parse_verilog(src)
+        assert d.properties["small"].kind == "invariant"
+
+
+class RoundtripMixin:
+    """write_verilog -> parse_verilog -> bounded equivalence."""
+
+    def roundtrip(self, design, outputs, depth=8, share=False):
+        buf = io.StringIO()
+        write_verilog(buf, design)
+        parsed = parse_verilog(buf.getvalue())
+        pairs = [(expr, self._rewrite(parsed, expr)) for expr in outputs]
+        r = check_equivalence(design, parsed, pairs, max_depth=depth,
+                              share_arbitrary_init=share)
+        assert r.status == "bounded", r.describe()
+        return parsed
+
+    @staticmethod
+    def _rewrite(parsed, expr):
+        if expr.kind != "latch":
+            raise AssertionError("roundtrip outputs must be latch words")
+        return parsed.latches[expr.payload].expr
+
+
+class TestRoundtrip(RoundtripMixin):
+    def test_counter_roundtrip(self):
+        d = Design("rt")
+        en = d.input("en", 1)
+        c = d.latch("c", 4, init=5)
+        c.next = en.ite(c.expr + 1, c.expr - 1)
+        d.invariant("p", c.expr.ne(9))
+        self.roundtrip(d, [c.expr], depth=8)
+
+    def test_memory_design_roundtrip(self):
+        d = Design("rtm")
+        wa = d.input("wa", 2)
+        wd = d.input("wd", 3)
+        mem = d.memory("m", addr_width=2, data_width=3, init=None)
+        mem.write(0).connect(addr=wa, data=wd, en=1)
+        rd = mem.read(0).connect(addr=wa - 1, en=1)
+        out = d.latch("out", 3, init=0)
+        out.next = rd
+        d.invariant("p", d.const(1, 1))
+        self.roundtrip(d, [out.expr], depth=6, share=True)
+
+    @pytest.mark.slow
+    def test_quicksort_roundtrip(self):
+        from repro.casestudies.quicksort import QuicksortParams, build_quicksort
+        d = build_quicksort(QuicksortParams(n=2, addr_width=3, data_width=3,
+                                            stack_addr_width=3))
+        self.roundtrip(d, [d.latches["pc"].expr, d.latches["pair_ok"].expr],
+                       depth=10, share=True)
