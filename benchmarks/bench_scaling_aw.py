@@ -18,10 +18,11 @@ from repro.design import Design, expand_memories
 
 common.table(
     "S1 — EMM vs Explicit as the memory grows (fixed depth 8)",
-    ["AW", "words", "EMM clauses", "EMM time", "Explicit state bits",
-     "Explicit clauses", "Explicit time"],
+    ["AW", "words", "EMM clauses", "EMM dedup", "EMM time",
+     "Explicit state bits", "Explicit clauses", "Explicit time"],
     note="EMM cost is linear in AW; explicit cost is linear in 2**AW "
-         "(the paper's motivation for EMM)",
+         "(the paper's motivation for EMM); dedup = comparator cache "
+         "hits / constant folds",
 )
 
 AWS = [3, 4, 5, 6, 7] if common.is_full() else [3, 4, 5, 6]
@@ -60,7 +61,7 @@ def bench_scaling_aw(benchmark, aw):
     explicit_bits = expand_memories(design).num_latch_bits()
     common.add_row(
         "S1 — EMM vs Explicit as the memory grows (fixed depth 8)",
-        aw, 1 << aw, emm.stats.sat_clauses,
+        aw, 1 << aw, emm.stats.sat_clauses, common.fmt_dedup(emm),
         f"{emm.stats.wall_time_s:.2f}s", explicit_bits,
         explicit.stats.sat_clauses, f"{explicit.stats.wall_time_s:.2f}s")
     benchmark.extra_info["emm_clauses"] = emm.stats.sat_clauses

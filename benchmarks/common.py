@@ -53,6 +53,21 @@ def fmt_mem(result) -> str:
     return f"{result.stats.sat_clauses}"
 
 
+def fmt_dedup(result) -> str:
+    """Comparator-dedup savings of a BMC run, as "<hits>h/<folds>f".
+
+    ``hits`` counts EMM address comparisons answered from the per-memory
+    comparator cache; ``folds`` counts comparisons that collapsed to a
+    constant without emitting any clauses (see repro.emm.addrcmp).  Both
+    are zero when the run used ``emm_addr_dedup=False`` or the workload
+    never repeats an address cone.
+    """
+    if result.status == "timeout":
+        return "-"
+    s = result.stats
+    return f"{s.emm_addr_eq_cache_hits}h/{s.emm_addr_eq_folded}f"
+
+
 def render_all() -> str:
     out = []
     for name, headers in _HEADERS.items():

@@ -66,6 +66,23 @@ class CnfEmitter:
         """SAT var already allocated for the literal's node, if any."""
         return self._var_of.get(aig_lit >> 1)
 
+    # -- constant identity (used by the EMM address-comparison layer) ----
+
+    def true_lit(self) -> int:
+        """SAT literal that is always true (allocates the const var once)."""
+        return self._ensure_const()
+
+    def const_value(self, sat_lit: int) -> bool | None:
+        """Truth value of a SAT literal of the constant variable.
+
+        Returns None for literals of any other (symbolic) variable —
+        this is how callers recognise constant address bits, since every
+        AIG constant lowers to the single dedicated always-true var.
+        """
+        if self._const_var is None or abs(sat_lit) != self._const_var:
+            return None
+        return sat_lit > 0
+
     def add_clause(self, sat_lits: Sequence[int], label: Hashable = None) -> int:
         """Add a raw CNF clause (used for the paper's direct-CNF constraints)."""
         return self.solver.add_clause(sat_lits, label if label is not None else self._label)

@@ -51,6 +51,10 @@ class BmcOptions:
     emm_encoding: str = "hybrid"
     #: Equation (6) arbitrary-initial-state consistency; False = ablation.
     init_consistency: bool = True
+    #: Deduplicate EMM address comparators (per-memory cache + constant
+    #: folding, :mod:`repro.emm.addrcmp`); False reproduces the paper's
+    #: fresh-comparator-per-pair encoding for A/B comparisons.
+    emm_addr_dedup: bool = True
     #: Latch-based abstraction: latches to keep (None = all).
     kept_latches: Optional[frozenset[str]] = None
     #: Memory abstraction: memories to keep EMM constraints for (None = all).
@@ -139,7 +143,8 @@ class BmcEngine:
                             symbolic_init=self.options.find_proof,
                             a_meminit=self.a_meminit,
                             kept_read_ports=port_map.get(name),
-                            init_registry=registries.get(name))
+                            init_registry=registries.get(name),
+                            addr_dedup=self.options.emm_addr_dedup)
             for name in sorted(kept_mems)
         }
         self.lfp = (LoopFreeConstraints(self.unroller, self.a_lfp)
@@ -211,12 +216,16 @@ class BmcEngine:
                 return self._finish(CEX, i, stats, t_start, t_depth)
             if opts.pba:
                 self._collect_reasons(i)
+            # The depth's time is recorded exactly once: here for depths
+            # the loop completes, inside _finish for early-return paths
+            # (which pass t_depth); paths below pass None so the final
+            # depth is never double-counted.
             stats.time_per_depth.append(time.monotonic() - t_depth)
             if stop_check is not None and stop_check(self, i):
-                return self._finish(BOUNDED, i, stats, t_start, t_depth)
+                return self._finish(BOUNDED, i, stats, t_start, None)
             if opts.timeout_s is not None and time.monotonic() - t_start > opts.timeout_s:
-                return self._finish(TIMEOUT, i, stats, t_start, t_depth)
-        return self._finish(BOUNDED, opts.max_depth, stats, t_start, t_start)
+                return self._finish(TIMEOUT, i, stats, t_start, None)
+        return self._finish(BOUNDED, opts.max_depth, stats, t_start, None)
 
     # -- helpers -------------------------------------------------------------
 
@@ -262,9 +271,14 @@ class BmcEngine:
         self._mr.append(prev_m | mems)
 
     def _finish(self, status: str, depth: int, stats: BmcRunStats,
-                t_start: float, t_depth: float, method: Optional[str] = None
-                ) -> BmcResult:
-        stats.time_per_depth.append(time.monotonic() - t_depth)
+                t_start: float, t_depth: Optional[float],
+                method: Optional[str] = None) -> BmcResult:
+        """Build the result.  ``t_depth`` is the final depth's start time
+        when its duration has not been appended yet, or None when the run
+        loop already recorded it (keeps ``len(time_per_depth) == depth+1``).
+        """
+        if t_depth is not None:
+            stats.time_per_depth.append(time.monotonic() - t_depth)
         stats.wall_time_s = time.monotonic() - t_start
         stats.sat_vars = self.solver.num_vars
         stats.sat_clauses = self.solver.num_clauses
@@ -272,6 +286,10 @@ class BmcEngine:
         stats.emm_clauses = sum(e.counters.total_clauses for e in self.emms.values())
         stats.emm_gates = sum(e.counters.total_gates for e in self.emms.values())
         stats.emm_vars = sum(e.counters.vars_added for e in self.emms.values())
+        stats.emm_addr_eq_cache_hits = sum(e.counters.addr_eq_cache_hits
+                                           for e in self.emms.values())
+        stats.emm_addr_eq_folded = sum(e.counters.addr_eq_folded
+                                       for e in self.emms.values())
         stats.peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
         trace = None
         validated = None

@@ -29,6 +29,11 @@ class BmcRunStats:
     emm_clauses: int = 0
     emm_gates: int = 0
     emm_vars: int = 0
+    #: EMM address comparisons answered from the per-memory comparator
+    #: cache / folded to constants (summed over memories; see
+    #: :mod:`repro.emm.addrcmp`).
+    emm_addr_eq_cache_hits: int = 0
+    emm_addr_eq_folded: int = 0
     peak_rss_mb: float = 0.0
 
     def summary(self) -> str:

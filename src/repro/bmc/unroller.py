@@ -48,6 +48,11 @@ class Unroller:
         self._input_words: list[dict[str, Word]] = []
         self._rd_words: list[dict[tuple[str, int], Word]] = []
         self._cache: list[dict[int, Word]] = []
+        #: Memoized SAT-level port views: ("r"|"w", mem, port, frame) ->
+        #: PortSignals.  Guarantees *stable literal identity* — repeated
+        #: requests for the same port at the same frame return the same
+        #: literal tuples, which the EMM address-comparator cache keys on.
+        self._port_sigs: dict[tuple[str, str, int, int], PortSignals] = {}
 
     # -- frame construction ----------------------------------------------
 
@@ -178,7 +183,14 @@ class Unroller:
 
         The Addr/RE cones are Main-module logic and are emitted under the
         frame's gate label; the RD bits are the frame's free variables.
+        Memoized per (port, frame): repeated calls return the *same*
+        PortSignals, so address-literal tuples are stable cache keys for
+        the EMM comparator layer.
         """
+        key = ("r", mem_name, port, frame)
+        got = self._port_sigs.get(key)
+        if got is not None:
+            return got
         mem = self.design.memories[mem_name]
         p = mem.read_ports[port]
         em = self.emitter
@@ -186,10 +198,19 @@ class Unroller:
         addr = em.sat_word(self.word(p.addr, frame))
         en = em.sat_lit(self.lit(p.en, frame))
         data = em.sat_word(self._rd_words[frame][(mem_name, port)])
-        return PortSignals(addr, en, data)
+        sig = PortSignals(addr, en, data)
+        self._port_sigs[key] = sig
+        return sig
 
     def write_port_signals(self, mem_name: str, port: int, frame: int) -> PortSignals:
-        """SAT literals of (Addr, WE, WD) for a write port at a frame."""
+        """SAT literals of (Addr, WE, WD) for a write port at a frame.
+
+        Memoized per (port, frame), like :meth:`read_port_signals`.
+        """
+        key = ("w", mem_name, port, frame)
+        got = self._port_sigs.get(key)
+        if got is not None:
+            return got
         mem = self.design.memories[mem_name]
         p = mem.write_ports[port]
         em = self.emitter
@@ -197,7 +218,9 @@ class Unroller:
         addr = em.sat_word(self.word(p.addr, frame))
         en = em.sat_lit(self.lit(p.en, frame))
         data = em.sat_word(self.word(p.data, frame))
-        return PortSignals(addr, en, data)
+        sig = PortSignals(addr, en, data)
+        self._port_sigs[key] = sig
+        return sig
 
     # -- AIG-level port views (pure gate-based EMM encoding) ---------------
 

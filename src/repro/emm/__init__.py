@@ -18,11 +18,16 @@ semantics *data read = most recent data written at the same address*
 
 :mod:`repro.emm.accounting` carries the paper's closed-form constraint
 counts; tests assert the implementation matches them clause for clause.
+:mod:`repro.emm.addrcmp` deduplicates the address comparators behind
+those counts (per-memory cache + constant folding) — the closed forms
+are upper bounds once dedup is on, and ``EmmCounters`` reports how much
+was saved (``addr_eq_cache_hits`` / ``addr_eq_folded``).
 """
 
+from repro.emm.addrcmp import AddrComparator
 from repro.emm.forwarding import EmmMemory, EmmCounters
 from repro.emm.races import RaceResult, find_data_race
 from repro.emm import accounting
 
-__all__ = ["EmmMemory", "EmmCounters", "RaceResult", "find_data_race",
-           "accounting"]
+__all__ = ["AddrComparator", "EmmMemory", "EmmCounters", "RaceResult",
+           "find_data_race", "accounting"]

@@ -17,9 +17,30 @@ constraints; an all-pairs count over the kR fresh reads is
 ``kR(kR-1)/2`` — see :func:`init_consistency_pairs_all` and DESIGN.md for
 why this reproduction constrains all pairs (same-port reads at different
 depths also need consistency for induction proofs to be sound).
+
+Comparator dedup (:mod:`repro.emm.addrcmp`, on by default): the closed
+forms above assume every comparison pays the full ``4m+1`` clauses and
+``m+1`` variables.  With the per-memory comparator cache and constant
+folding they become *upper bounds*: a structural repeat costs 0 (counted
+in ``EmmCounters.addr_eq_cache_hits``), a fully constant comparison
+costs 0 (``addr_eq_folded``), and a const-vs-symbolic comparison costs
+:func:`addr_eq_clauses_const` instead of :func:`addr_eq_clauses_full`.
+The exact-count tests therefore use workloads whose address cones are
+fresh symbolic inputs, where dedup finds nothing and the bounds are
+tight.
 """
 
 from __future__ import annotations
+
+
+def addr_eq_clauses_full(addr_width: int) -> int:
+    """Clauses of one full symbolic address comparator: ``4m + 1``."""
+    return 4 * addr_width + 1
+
+
+def addr_eq_clauses_const(addr_width: int) -> int:
+    """Clauses of one const-vs-symbolic comparator: ``m + 1``."""
+    return addr_width + 1
 
 
 def clauses_per_read_port(k: int, w_ports: int, addr_width: int,

@@ -1,0 +1,209 @@
+"""Shared address-comparison layer for the EMM encodings.
+
+Both EMM encoders (the hybrid :class:`repro.emm.forwarding.EmmMemory`
+and the CNF side of :class:`repro.emm.gates.GateEmmMemory`) need many
+indicator literals ``E <-> (AddrA == AddrB)`` over SAT-literal words.
+The paper's direct encoding mints a fresh variable and ``4m+1`` clauses
+for every comparison; across the forwarding chain, read ports sharing an
+address cone, the equation-(6) consistency pairs and the race monitor,
+the *same* pair of address words recurs many times.  This module
+deduplicates that structure:
+
+* **Comparator cache** — keyed on the canonically ordered pair of
+  SAT-literal tuples of the two address words.  Equality is symmetric,
+  so ``(A, B)`` and ``(B, A)`` share one entry; a hit returns the
+  existing ``E`` literal with zero new clauses or variables.  Literal
+  tuples are stable keys because the unroller memoizes port signals and
+  the Tseitin emitter memoizes cones (see
+  :meth:`repro.bmc.unroller.Unroller.read_port_signals`).
+* **Constant folding** — address bits that lower to the emitter's
+  constant variable are recognised: const-vs-const comparisons fold to
+  the TRUE/FALSE literal with zero clauses; const-vs-symbolic
+  comparisons use the ``m+1``-clause unit form (the shape of the ROM
+  ``_addr_eq_const`` encoding) instead of the full ``4m+1``; bit pairs
+  that are the *same* literal are skipped and bit pairs that are
+  complementary literals fold the whole comparator to FALSE.
+
+PBA provenance: the cache is scoped **per memory**, never shared across
+memories.  A cached comparator created under one label kind (say
+``("emm", mem, "addr_eq")``) may later serve a hit requested under
+another (``("emm", mem, "init_consistency")``); that is sound for
+proof-based abstraction because the engine's reason extraction only
+reads the memory name out of ``("emm", name, *)`` labels, and every
+label of one cache carries the same name.  A cross-memory cache would
+let a core attribute one memory's constraints to another, silently
+shrinking the abstraction — hence one :class:`AddrComparator` per
+:class:`EmmMemory`.  The race monitor additionally gets its *own*
+instance (not the forwarding chain's): its clauses are booked into
+dedicated ``race_*`` counters excluded from the paper-formula totals,
+and a shared cache would let whichever consumer encodes a pair first
+steal the booking from the other, making ``addr_eq_clauses`` depend on
+``check_races``.
+
+Folded comparators return the emitter's always-true variable (possibly
+negated); cores that use a folded result pick up the ``("const",)``
+unit instead of EMM clauses, exactly as they already did when the
+paper encoding's constant-address clauses were absorbed at level 0.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.aig.tseitin import CnfEmitter
+from repro.sat.solver import Solver
+
+
+class AddrComparator:
+    """Per-memory cache of address-equality indicator literals.
+
+    Parameters
+    ----------
+    solver, emitter:
+        The run's solver and Tseitin emitter (the emitter owns the
+        dedicated always-true constant variable used for folds).
+    cache:
+        Enable comparator reuse.  With ``cache=False`` every call
+        encodes afresh (the A/B baseline for the dedup cross-checks).
+    fold:
+        Enable constant detection.  With ``fold=False`` the encoding is
+        bit-for-bit the paper's ``4m+1``-clause form regardless of the
+        operands, which keeps the closed-form accounting tests exact.
+    hit_counter, fold_counter:
+        Names of the counter attributes bumped on cache hits / folds.
+        A consumer whose clause counters must stay independent of other
+        consumers (the race monitor vs the forwarding chain) gets its
+        *own* comparator instance with its own counter names — sharing
+        a cache across differently-booked consumers would let whichever
+        runs first steal the clause booking from the other.
+    """
+
+    __slots__ = ("solver", "emitter", "cache", "fold", "hit_counter",
+                 "fold_counter", "_table")
+
+    def __init__(self, solver: Solver, emitter: CnfEmitter,
+                 cache: bool = True, fold: bool = True,
+                 hit_counter: str = "addr_eq_cache_hits",
+                 fold_counter: str = "addr_eq_folded") -> None:
+        self.solver = solver
+        self.emitter = emitter
+        self.cache = cache
+        self.fold = fold
+        self.hit_counter = hit_counter
+        self.fold_counter = fold_counter
+        #: canonical (tuple, tuple) key -> E literal
+        self._table: dict[tuple[tuple[int, ...], tuple[int, ...]], int] = {}
+
+    # -- public API -----------------------------------------------------
+
+    def eq(self, a_bits: list[int], b_bits: list[int], label: Hashable,
+           c, counter: str) -> int:
+        """Literal of ``E`` with ``E <-> (a_bits == b_bits)``.
+
+        Clauses are booked into ``getattr(c, counter)``; cache hits and
+        folds bump the counters named by ``hit_counter``/``fold_counter``.
+        """
+        if len(a_bits) != len(b_bits):
+            raise ValueError("address words differ in width")
+        ta, tb = tuple(a_bits), tuple(b_bits)
+        key = (ta, tb) if ta <= tb else (tb, ta)
+        if self.cache:
+            got = self._table.get(key)
+            if got is not None:
+                setattr(c, self.hit_counter, getattr(c, self.hit_counter) + 1)
+                return got
+        e = self._encode(ta, tb, label, c, counter)
+        if self.cache:
+            self._table[key] = e
+        return e
+
+    def eq_const(self, addr: list[int], value: int, label: Hashable,
+                 c, counter: str) -> int:
+        """``E <-> (addr == value)`` for an integer constant ``value``.
+
+        The constant is lowered to literals of the emitter's always-true
+        variable, so it shares the cache and folding rules of :meth:`eq`
+        (a constant address cone against a constant value folds to
+        TRUE/FALSE with zero clauses).  With ``fold=False`` it emits the
+        legacy uncached ``m+1``-clause unit form instead.
+        """
+        if self.fold:
+            t = self.emitter.true_lit()
+            const_bits = [t if (value >> i) & 1 else -t
+                          for i in range(len(addr))]
+            return self.eq(addr, const_bits, label, c, counter)
+        e = self._new_var(c)
+        lits = [addr[i] if (value >> i) & 1 else -addr[i]
+                for i in range(len(addr))]
+        for lit in lits:
+            self._clause([-e, lit], label, c, counter)
+        self._clause([e] + [-lit for lit in lits], label, c, counter)
+        return e
+
+    @property
+    def size(self) -> int:
+        """Number of distinct comparators currently cached."""
+        return len(self._table)
+
+    # -- encoding -------------------------------------------------------
+
+    def _const_value(self, lit: int) -> Optional[bool]:
+        return self.emitter.const_value(lit)
+
+    def _encode(self, ta: tuple[int, ...], tb: tuple[int, ...],
+                label: Hashable, c, counter: str) -> int:
+        em = self.emitter
+        if self.fold:
+            sym_pairs: list[tuple[int, int]] = []  # both sides symbolic
+            units: list[int] = []  # literal equivalent to one bit's equality
+            for a, b in zip(ta, tb):
+                if a == b:
+                    continue  # identical literal: equal by construction
+                if a == -b:
+                    self._bump_fold(c)
+                    return -em.true_lit()  # complementary: never equal
+                va, vb = self._const_value(a), self._const_value(b)
+                if va is not None and vb is not None:
+                    if va != vb:
+                        self._bump_fold(c)
+                        return -em.true_lit()
+                    continue  # equal constants
+                if va is not None:
+                    units.append(b if va else -b)
+                elif vb is not None:
+                    units.append(a if vb else -a)
+                else:
+                    sym_pairs.append((a, b))
+            if not sym_pairs and not units:
+                self._bump_fold(c)
+                return em.true_lit()  # structurally identical words
+        else:
+            sym_pairs = list(zip(ta, tb))
+            units = []
+
+        e_total = self._new_var(c)
+        closing = []
+        for a, b in sym_pairs:
+            e_i = self._new_var(c)
+            self._clause([-e_total, a, -b], label, c, counter)
+            self._clause([-e_total, -a, b], label, c, counter)
+            self._clause([e_i, a, b], label, c, counter)
+            self._clause([e_i, -a, -b], label, c, counter)
+            closing.append(-e_i)
+        for lit in units:
+            self._clause([-e_total, lit], label, c, counter)
+            closing.append(-lit)
+        self._clause(closing + [e_total], label, c, counter)
+        return e_total
+
+    def _bump_fold(self, c) -> None:
+        setattr(c, self.fold_counter, getattr(c, self.fold_counter) + 1)
+
+    def _new_var(self, c) -> int:
+        c.vars_added += 1
+        return self.solver.new_var()
+
+    def _clause(self, lits: list[int], label: Hashable, c, counter: str) -> None:
+        setattr(c, counter, getattr(c, counter) + 1)
+        if self.solver.add_clause(lits, label) < 0:
+            c.absorbed += 1

@@ -12,6 +12,27 @@ write-port-first; ``PS(i,p)`` means "no match strictly after (i,p)",
 ``S(i,p)`` means "(i,p) is the unique matching write".  ``PS`` at the
 very bottom of the chain is the paper's ``S_{-1}`` — the read falls
 through to the initial memory state.
+
+Address comparators are produced by a per-memory
+:class:`repro.emm.addrcmp.AddrComparator` (``addr_dedup=True``, the
+default): structurally recurring (read, write-pair) address comparisons
+return the already-encoded ``E`` literal instead of a fresh ``4m+1``
+clause block, and constant address cones fold to TRUE/FALSE (zero
+clauses) or the ``m+1``-clause const form.  The cache is deliberately
+scoped to this one memory so proof-based abstraction stays sound: every
+clause a cached comparator ever emitted carries an ``("emm", name, *)``
+label of the *same* memory, so unsat cores that reuse a shared
+comparator still attribute it to the right memory.  Hits are counted in
+``EmmCounters.addr_eq_cache_hits`` and folds in
+``EmmCounters.addr_eq_folded``; both are per-frame snapshotted and
+surfaced as ``BmcRunStats.emm_addr_eq_cache_hits`` /
+``emm_addr_eq_folded``.
+
+The data-race monitor (``check_races=True``) books its clauses into the
+dedicated ``race_addr_eq_clauses`` / ``race_clauses`` / ``race_gates``
+counters, which are *excluded* from ``total_clauses`` and
+``total_gates`` so the paper-formula comparisons stay exact whether or
+not the monitor is on.
 """
 
 from __future__ import annotations
@@ -20,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.bmc.unroller import PortSignals, Unroller
+from repro.emm.addrcmp import AddrComparator
 from repro.sat.solver import Solver
 
 
@@ -40,10 +62,30 @@ class EmmCounters:
     vars_added: int = 0
     #: clauses absorbed by the solver (tautologies from constant addresses)
     absorbed: int = 0
+    #: address comparisons answered from the per-memory comparator cache
+    addr_eq_cache_hits: int = 0
+    #: address comparisons folded to a constant (zero clauses emitted)
+    addr_eq_folded: int = 0
+    #: race-monitor comparator clauses (excluded from ``total_clauses``)
+    race_addr_eq_clauses: int = 0
+    #: race-monitor aggregation (OR / unit) clauses
+    race_clauses: int = 0
+    #: race-monitor 2-input gates (excluded from ``total_gates``)
+    race_gates: int = 0
+    #: race-monitor comparator cache hits / folds (own comparator: the
+    #: monitor never shares entries with the forwarding chain, so the
+    #: paper-formula counters are independent of ``check_races``)
+    race_addr_eq_cache_hits: int = 0
+    race_addr_eq_folded: int = 0
     per_frame: list[dict] = field(default_factory=list)
 
     @property
     def total_clauses(self) -> int:
+        """Forwarding/init clauses comparable to the paper's formulas.
+
+        Deliberately excludes the race-monitor counters: the monitor is
+        an extension outside the Section 3/4 closed forms.
+        """
         return (self.addr_eq_clauses + self.rd_clauses + self.valid_clauses
                 + self.init_rd_clauses + self.init_pin_clauses
                 + self.init_rom_clauses + self.init_addr_eq_clauses
@@ -81,6 +123,12 @@ class EmmMemory:
         When False, arbitrary-initial-state reads still get fresh
         symbolic words but the pairwise equation-(6) constraints are
         omitted — the unsound-for-proofs ablation of Section 4.2.
+    addr_dedup:
+        When True (default) address comparators are cached and
+        constant-folded through a per-memory
+        :class:`~repro.emm.addrcmp.AddrComparator`; when False every
+        comparison emits the paper's fresh ``4m+1``-clause block (the
+        baseline for the dedup cross-checks and the exact-count tests).
     """
 
     def __init__(self, solver: Solver, unroller: Unroller, mem_name: str,
@@ -89,7 +137,8 @@ class EmmMemory:
                  a_meminit: Optional[int] = None,
                  kept_read_ports: Optional[frozenset[int]] = None,
                  check_races: bool = False,
-                 init_registry: Optional[list] = None) -> None:
+                 init_registry: Optional[list] = None,
+                 addr_dedup: bool = True) -> None:
         self.solver = solver
         self.unroller = unroller
         self.mem = unroller.design.memories[mem_name]
@@ -117,6 +166,18 @@ class EmmMemory:
         if self.symbolic_init and has_known_init and a_meminit is None:
             raise ValueError("symbolic_init for a known-init memory needs a_meminit")
         self.counters = EmmCounters()
+        #: Per-memory comparator cache (see module docstring for why the
+        #: scope must not widen past one memory: PBA label attribution).
+        self.addr_cmp = AddrComparator(solver, unroller.emitter,
+                                       cache=addr_dedup, fold=addr_dedup)
+        #: The race monitor books into dedicated counters, so it gets an
+        #: *isolated* comparator: sharing the forwarding cache would let
+        #: whichever consumer encodes a pair first steal the clause
+        #: booking, making ``addr_eq_clauses`` depend on ``check_races``.
+        self.race_cmp = AddrComparator(solver, unroller.emitter,
+                                       cache=addr_dedup, fold=addr_dedup,
+                                       hit_counter="race_addr_eq_cache_hits",
+                                       fold_counter="race_addr_eq_folded")
         self._writes: list[list[PortSignals]] = []  # [frame][write_port]
         #: Fall-through read records; a list *shared across memories* when
         #: this memory is in a shared-initial-state group (the miter case:
@@ -273,15 +334,9 @@ class EmmMemory:
 
     def _addr_eq_const(self, addr: list[int], value: int, label,
                        c: EmmCounters) -> int:
-        """Fresh E with E <-> (addr == value); m+1 clauses."""
-        e = self._new_var()
-        lits = [addr[i] if (value >> i) & 1 else -addr[i]
-                for i in range(len(addr))]
-        for lit in lits:
-            self._clause([-e, lit], label, c, "init_rom_clauses")
-        self._clause([e] + [-lit for lit in lits], label, c,
-                     "init_rom_clauses")
-        return e
+        """E with E <-> (addr == value); at most m+1 clauses (cached)."""
+        return self.addr_cmp.eq_const(addr, value, label, c,
+                                      "init_rom_clauses")
 
     def _add_init_consistency(self, new: _ReadRecord, c: EmmCounters) -> None:
         """Equation (6): equal fresh-read addresses give equal symbols."""
@@ -304,25 +359,28 @@ class EmmMemory:
         never true" with the engine (see ``BmcEngine.race_property``).
         """
         label = ("emm", self.name, "race")
+        c = self.counters
         pair_lits: list[int] = []
         for i in range(len(writes)):
             for j in range(i + 1, len(writes)):
-                eq = self._addr_eq(writes[i].addr, writes[j].addr, label,
-                                   self.counters, "addr_eq_clauses")
-                both = self._and2(writes[i].en, writes[j].en, label)
-                pair_lits.append(self._and2(eq, both, label))
+                eq = self.race_cmp.eq(writes[i].addr, writes[j].addr, label,
+                                      c, "race_addr_eq_clauses")
+                both = self._and2(writes[i].en, writes[j].en, label,
+                                  gate_counter="race_gates")
+                pair_lits.append(self._and2(eq, both, label,
+                                            gate_counter="race_gates"))
         if not pair_lits:
             # Single write port: a race is structurally impossible.
             race = self._new_var()
-            self.solver.add_clause([-race], label)
+            self._clause([-race], label, c, "race_clauses")
         elif len(pair_lits) == 1:
             race = pair_lits[0]
         else:
             # race <-> OR(pairs), encoded one-directionally both ways.
             race = self._new_var()
             for p in pair_lits:
-                self.solver.add_clause([-p, race], label)
-            self.solver.add_clause([-race] + pair_lits, label)
+                self._clause([-p, race], label, c, "race_clauses")
+            self._clause([-race] + pair_lits, label, c, "race_clauses")
         self.race_lits.append(race)
 
     # -- low-level helpers ----------------------------------------------
@@ -338,31 +396,25 @@ class EmmMemory:
 
     def _addr_eq(self, a_bits: list[int], b_bits: list[int], label,
                  c: EmmCounters, counter: str) -> int:
-        """The paper's 4m+1 clause address-comparison encoding.
+        """The paper's 4m+1 clause address comparison, deduplicated.
 
-        Returns the literal of a fresh variable E with E <-> (a == b):
-        E -> per-bit equality directly, and per-bit indicator variables
-        e_i with (a_i == b_i) -> e_i plus the closing clause
-        (!e_0 + ... + !e_{m-1} + E).
+        Returns the literal of a variable E with E <-> (a == b): E ->
+        per-bit equality directly, and per-bit indicator variables e_i
+        with (a_i == b_i) -> e_i plus the closing clause
+        (!e_0 + ... + !e_{m-1} + E).  With ``addr_dedup`` the per-memory
+        :class:`AddrComparator` returns the existing E on a structural
+        repeat and folds constant comparisons (see module docstring).
         """
-        e_total = self._new_var()
-        e_bits = []
-        for a, b in zip(a_bits, b_bits):
-            e_i = self._new_var()
-            self._clause([-e_total, a, -b], label, c, counter)
-            self._clause([-e_total, -a, b], label, c, counter)
-            self._clause([e_i, a, b], label, c, counter)
-            self._clause([e_i, -a, -b], label, c, counter)
-            e_bits.append(e_i)
-        self._clause([-e for e in e_bits] + [e_total], label, c, counter)
-        return e_total
+        return self.addr_cmp.eq(a_bits, b_bits, label, c, counter)
 
-    def _and2(self, a: int, b: int, label) -> int:
+    def _and2(self, a: int, b: int, label,
+              gate_counter: str = "excl_gates") -> int:
         """A 2-input AND gate in CNF (counted as one gate, per the paper)."""
         v = self._new_var()
         s = self.solver
         s.add_clause([-v, a], label)
         s.add_clause([-v, b], label)
         s.add_clause([v, -a, -b], label)
-        self.counters.excl_gates += 1
+        setattr(self.counters, gate_counter,
+                getattr(self.counters, gate_counter) + 1)
         return v

@@ -26,6 +26,7 @@ from typing import Optional
 from repro.aig import ops
 from repro.aig.aig import FALSE
 from repro.bmc.unroller import PortSignals, Unroller
+from repro.emm.addrcmp import AddrComparator
 from repro.emm.forwarding import EmmCounters, _ReadRecord
 from repro.sat.solver import Solver
 
@@ -46,7 +47,8 @@ class GateEmmMemory:
                  a_meminit: Optional[int] = None,
                  kept_read_ports: Optional[frozenset[int]] = None,
                  check_races: bool = False,
-                 init_registry: Optional[list] = None) -> None:
+                 init_registry: Optional[list] = None,
+                 addr_dedup: bool = True) -> None:
         if check_races:
             raise ValueError("race monitoring is only available with the "
                              "hybrid EMM encoding")
@@ -67,6 +69,11 @@ class GateEmmMemory:
             raise ValueError("symbolic_init for a known-init memory needs "
                              "a_meminit")
         self.counters = EmmCounters()
+        #: CNF-side comparator cache for the equation-(6) consistency
+        #: pairs; per memory, like the hybrid encoder's (the AIG side of
+        #: this encoding already structurally hashes its eq cones).
+        self.addr_cmp = AddrComparator(solver, unroller.emitter,
+                                       cache=addr_dedup, fold=addr_dedup)
         self.race_lits: list[int] = []
         self._writes: list[list[PortSignals]] = []  # AIG-level, per frame
         self._reads: list[_ReadRecord] = (init_registry
@@ -192,19 +199,6 @@ class GateEmmMemory:
 
     def _sat_addr_eq(self, a_bits: list[int], b_bits: list[int]) -> int:
         """CNF equality indicator over already-emitted SAT literals."""
-        solver = self.solver
-        c = self.counters
         label = ("emm", self.name, "init_consistency")
-        e_total = solver.new_var()
-        e_bits = []
-        for a, b in zip(a_bits, b_bits):
-            e_i = solver.new_var()
-            for lits in ([-e_total, a, -b], [-e_total, -a, b],
-                         [e_i, a, b], [e_i, -a, -b]):
-                solver.add_clause(lits, label)
-            c.init_addr_eq_clauses += 4
-            e_bits.append(e_i)
-        solver.add_clause([-e for e in e_bits] + [e_total], label)
-        c.init_addr_eq_clauses += 1
-        c.vars_added += len(e_bits) + 1
-        return e_total
+        return self.addr_cmp.eq(a_bits, b_bits, label, self.counters,
+                                "init_addr_eq_clauses")

@@ -308,8 +308,12 @@ class Solver:
         Returns a :class:`SolveResult`; when unsatisfiable, the core of
         original clauses used is available through
         :meth:`core_clause_ids` / :meth:`core_labels` until the next call.
-        ``max_conflicts`` bounds the search; exceeding it yields a result
-        with ``unknown=True``.
+        ``max_conflicts`` bounds the search: up to N conflicts are
+        *analyzed* (their learned clauses are kept for later calls —
+        ``max_conflicts=1`` still learns from its one conflict), then the
+        next conflict aborts with ``unknown=True``.  A conflict at
+        decision level 0 still returns the definitive UNSAT answer
+        regardless of the budget.
         """
         self.stats.solves += 1
         if self._broken:
@@ -335,15 +339,17 @@ class Solver:
             if confl != -1:
                 self.stats.conflicts += 1
                 conflicts_here += 1
-                if budget_left is not None:
-                    budget_left -= 1
-                    if budget_left <= 0:
-                        self._cancel_until(0)
-                        return SolveResult(sat=False, unknown=True,
-                                           stats=self.stats.snapshot())
                 if self._decision_level() == 0:
                     self._mark_broken(self._conflict_core_at_level0(confl))
                     return self._result(False)
+                if budget_left is not None:
+                    if budget_left <= 0:
+                        # Budget exhausted by previously analyzed
+                        # conflicts: abort before analyzing this one.
+                        self._cancel_until(0)
+                        return SolveResult(sat=False, unknown=True,
+                                           stats=self.stats.snapshot())
+                    budget_left -= 1
                 learnt, bt_level, used = self._analyze(confl)
                 self._cancel_until(bt_level)
                 self._record_learnt(learnt, used)

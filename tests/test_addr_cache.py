@@ -1,0 +1,270 @@
+"""Address-comparator dedup (repro.emm.addrcmp): cross-checks + accounting.
+
+The comparator cache and constant folding must be invisible to every
+observable verification outcome: randomized multi-port designs are run
+through full BMC (induction + PBA) with ``emm_addr_dedup`` on and off,
+and statuses, depths, trace validity and the PBA latch/memory reason
+sets must coincide.  Separate tests pin down the accounting: recurring
+address cones produce cache hits, constant addresses produce folds, the
+const-vs-symbolic form costs m+1 clauses, and the race monitor books
+into its dedicated counters without touching the paper-formula ones.
+"""
+
+import random
+
+import pytest
+
+from repro.aig import Aig, CnfEmitter
+from repro.bmc import BmcOptions, bmc3, verify
+from repro.bmc.unroller import Unroller
+from repro.design import Design
+from repro.emm import AddrComparator, EmmMemory, accounting
+from repro.emm.gates import GateEmmMemory
+from repro.sat import Solver
+
+
+# ---------------------------------------------------------------------------
+# Randomized cross-check: dedup on/off must verify identically.
+# ---------------------------------------------------------------------------
+
+def random_design(rng: random.Random) -> tuple[Design, str]:
+    """A random multi-port single-memory design with recurring addresses.
+
+    Address cones are drawn from a small pool (constants, a shared input,
+    a walking latch) so the comparator cache actually fires; the checked
+    property is a reach target on read-back data, reachable or not
+    depending on the draw.
+    """
+    aw = rng.choice([2, 3])
+    dw = rng.choice([2, 3])
+    w_ports = rng.choice([1, 2])
+    r_ports = rng.choice([2, 3])
+    init = rng.choice([0, None, 3])
+    d = Design("rand")
+    t = d.latch("t", aw, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", aw, dw, read_ports=r_ports, write_ports=w_ports,
+                   init=init)
+    shared = d.input("sa", aw)
+    addr_pool = [lambda: d.const(rng.randrange(1 << aw), aw),
+                 lambda: shared,
+                 lambda: t.expr]
+    for w in range(w_ports):
+        en = d.input(f"we{w}", 1)
+        if w_ports > 1:
+            # Ports write disjoint address parities: the EMM semantics
+            # assume same-cycle same-address write races are absent.
+            addr = d.input(f"wa{w}", aw)
+            en = en & addr[0].eq(w & 1)
+        else:
+            addr = rng.choice(addr_pool)()
+        mem.write(w).connect(addr=addr, data=d.input(f"wd{w}", dw), en=en)
+    for r in range(r_ports):
+        mem.read(r).connect(addr=rng.choice(addr_pool)(), en=1)
+    target = rng.randrange(1 << dw)
+    d.reach("hit", mem.read(0).data.eq(target))
+    return d, "hit"
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_dedup_is_invisible_to_verification(seed):
+    """Statuses, depths, trace validity and PBA reasons match on/off."""
+    rng = random.Random(seed)
+    design, prop = random_design(rng)
+    results = []
+    for dedup in (True, False):
+        r = verify(design, prop, bmc3(max_depth=4, emm_addr_dedup=dedup))
+        results.append(r)
+    on, off = results
+    assert on.status == off.status, (seed, on.status, off.status)
+    assert on.depth == off.depth
+    assert on.method == off.method
+    assert on.trace_validated == off.trace_validated
+    if on.trace is not None:
+        assert on.trace_validated is True  # both replay on the simulator
+    assert on.latch_reasons == off.latch_reasons
+    assert on.memory_reasons == off.memory_reasons
+
+
+@pytest.mark.parametrize("seed", [0, 3, 5])
+def test_dedup_never_grows_the_encoding(seed):
+    """Dedup-on never emits more EMM clauses or variables than off."""
+    rng = random.Random(seed)
+    design, prop = random_design(rng)
+    on = verify(design, prop, bmc3(max_depth=4, emm_addr_dedup=True))
+    off = verify(design, prop, bmc3(max_depth=4, emm_addr_dedup=False))
+    assert on.stats.emm_clauses <= off.stats.emm_clauses
+    assert on.stats.emm_vars <= off.stats.emm_vars
+    assert off.stats.emm_addr_eq_cache_hits == 0
+    assert off.stats.emm_addr_eq_folded == 0
+
+
+def test_gate_encoding_accepts_dedup_flag():
+    d = Design("g")
+    t = d.latch("t", 2, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", 2, 2, init=None)
+    mem.write(0).connect(addr=d.input("wa", 2), data=d.input("wd", 2),
+                         en=d.input("we", 1))
+    mem.read(0).connect(addr=d.const(1, 2), en=1)
+    d.invariant("p", mem.read(0).data.ule(3))
+    for dedup in (True, False):
+        r = verify(d, "p", BmcOptions(max_depth=3, emm_encoding="gates",
+                                      emm_addr_dedup=dedup))
+        assert r.status == "proof"
+
+
+# ---------------------------------------------------------------------------
+# AddrComparator unit behaviour.
+# ---------------------------------------------------------------------------
+
+def fresh_cmp(nv=0, **kw):
+    solver = Solver(proof=False)
+    emitter = CnfEmitter(Aig(), solver)
+    lits = [solver.new_var() for _ in range(nv)]
+    from repro.emm.forwarding import EmmCounters
+    return AddrComparator(solver, emitter, **kw), EmmCounters(), lits, solver
+
+
+class TestComparatorUnit:
+    def test_cache_hit_is_symmetric(self):
+        cmp_, c, v, _ = fresh_cmp(4)
+        a, b = v[:2], v[2:]
+        e1 = cmp_.eq(a, b, None, c, "addr_eq_clauses")
+        e2 = cmp_.eq(b, a, None, c, "addr_eq_clauses")
+        assert e1 == e2
+        assert c.addr_eq_cache_hits == 1
+        assert c.addr_eq_clauses == accounting.addr_eq_clauses_full(2)
+
+    def test_identical_words_fold_true(self):
+        cmp_, c, v, solver = fresh_cmp(2)
+        e = cmp_.eq(v, v, None, c, "addr_eq_clauses")
+        assert c.addr_eq_folded == 1
+        assert c.addr_eq_clauses == 0
+        assert solver.solve([-e]).sat is False  # e is the TRUE literal
+
+    def test_complementary_bit_folds_false(self):
+        cmp_, c, v, solver = fresh_cmp(2)
+        e = cmp_.eq([v[0], v[1]], [v[0], -v[1]], None, c, "addr_eq_clauses")
+        assert c.addr_eq_folded == 1
+        assert solver.solve([e]).sat is False  # e is the FALSE literal
+
+    def test_const_vs_const_folds(self):
+        cmp_, c, _, solver = fresh_cmp(0)
+        e_eq = cmp_.eq_const([], 0, None, c, "addr_eq_clauses")
+        t = cmp_.emitter.true_lit()
+        word = [t, -t]  # constant 0b01
+        e1 = cmp_.eq_const(word, 1, None, c, "addr_eq_clauses")
+        e2 = cmp_.eq_const(word, 2, None, c, "addr_eq_clauses")
+        assert solver.solve([-e1]).sat is False
+        assert solver.solve([e2]).sat is False
+        assert c.addr_eq_clauses == 0
+        assert c.addr_eq_folded >= 2
+        assert e_eq == t
+
+    def test_const_vs_symbolic_costs_m_plus_1(self):
+        cmp_, c, v, _ = fresh_cmp(3)
+        cmp_.eq_const(v, 5, None, c, "addr_eq_clauses")
+        assert c.addr_eq_clauses == accounting.addr_eq_clauses_const(3)
+
+    def test_disabled_matches_paper_form(self):
+        cmp_, c, v, _ = fresh_cmp(4, cache=False, fold=False)
+        a, b = v[:2], v[2:]
+        e1 = cmp_.eq(a, b, None, c, "addr_eq_clauses")
+        e2 = cmp_.eq(a, b, None, c, "addr_eq_clauses")
+        assert e1 != e2  # no reuse
+        assert c.addr_eq_cache_hits == 0
+        assert c.addr_eq_clauses == 2 * accounting.addr_eq_clauses_full(2)
+
+    def test_width_mismatch_rejected(self):
+        cmp_, c, v, _ = fresh_cmp(3)
+        with pytest.raises(ValueError):
+            cmp_.eq(v[:1], v[1:], None, c, "addr_eq_clauses")
+
+
+# ---------------------------------------------------------------------------
+# Race-monitor accounting: dedicated counters, paper formulas untouched.
+# ---------------------------------------------------------------------------
+
+def racy_two_port_design(aw=3, dw=2):
+    d = Design("racy")
+    t = d.latch("t", 2, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", aw, dw, read_ports=1, write_ports=2, init=0)
+    for w in range(2):
+        mem.write(w).connect(addr=d.input(f"wa{w}", aw),
+                             data=d.input(f"wd{w}", dw),
+                             en=d.input(f"we{w}", 1))
+    mem.read(0).connect(addr=d.input("ra", aw), en=1)
+    d.invariant("p", mem.read(0).data.ule((1 << dw) - 1))
+    return d
+
+
+def run_emm(design, depth, **kw):
+    solver = Solver(proof=False)
+    emitter = CnfEmitter(Aig(), solver)
+    unroller = Unroller(design, emitter)
+    emm = EmmMemory(solver, unroller, "m", **kw)
+    for k in range(depth + 1):
+        unroller.add_frame()
+        emm.add_frame(k)
+    return emm
+
+
+class TestRaceAccounting:
+    def test_race_clauses_have_dedicated_counters(self):
+        emm = run_emm(racy_two_port_design(), 4, check_races=True,
+                      addr_dedup=False)
+        c = emm.counters
+        assert c.race_addr_eq_clauses > 0
+        assert c.race_gates > 0
+        # 5 frames, one write-pair comparator each: 4m+1 clauses apiece.
+        assert c.race_addr_eq_clauses == 5 * accounting.addr_eq_clauses_full(3)
+        assert c.race_gates == 5 * 2  # both-enables AND + pair AND per frame
+
+    def test_race_monitor_does_not_skew_paper_counters(self):
+        plain = run_emm(racy_two_port_design(), 4, addr_dedup=False)
+        raced = run_emm(racy_two_port_design(), 4, check_races=True,
+                        addr_dedup=False)
+        c0, c1 = plain.counters, raced.counters
+        assert c1.addr_eq_clauses == c0.addr_eq_clauses
+        assert c1.excl_gates == c0.excl_gates
+        assert c1.total_clauses == c0.total_clauses
+        assert c1.total_gates == c0.total_gates
+
+    def test_race_detection_still_works_with_dedup(self):
+        from repro.emm import find_data_race
+        r = find_data_race(racy_two_port_design(), "m", max_depth=3)
+        assert r.found
+
+    def test_paper_counters_independent_of_races_under_dedup(self):
+        """The race monitor has its own comparator cache: even when a
+        read shares an address cone with a write port (so the monitor
+        and the forwarding chain request identical comparisons), the
+        paper-formula counters must not depend on check_races."""
+        def build():
+            d = Design("overlap")
+            t = d.latch("t", 2, init=0)
+            t.next = t.expr + 1
+            mem = d.memory("m", 3, 2, read_ports=1, write_ports=2, init=0)
+            wa = d.input("wa", 3)
+            # Write 0 and the read share one cone; write 1 is constant,
+            # so the race pair (wa, const) is exactly the comparison the
+            # forwarding chain needs one frame later.
+            mem.write(0).connect(addr=wa, data=d.input("wd0", 2),
+                                 en=d.input("we0", 1))
+            mem.write(1).connect(addr=d.const(5, 3), data=d.input("wd1", 2),
+                                 en=d.input("we1", 1))
+            mem.read(0).connect(addr=wa, en=1)
+            d.invariant("p", mem.read(0).data.ule(3))
+            return d
+
+        plain = run_emm(build(), 3, addr_dedup=True)
+        raced = run_emm(build(), 3, check_races=True, addr_dedup=True)
+        c0, c1 = plain.counters, raced.counters
+        assert c1.addr_eq_clauses == c0.addr_eq_clauses
+        assert c1.addr_eq_cache_hits == c0.addr_eq_cache_hits
+        assert c1.addr_eq_folded == c0.addr_eq_folded
+        assert c1.total_clauses == c0.total_clauses
+        assert c1.vars_added > c0.vars_added  # races do cost something
+        assert c1.race_addr_eq_clauses > 0

@@ -130,3 +130,90 @@ def test_explicit_state_bits():
 
 def test_pure_gate_formula():
     assert accounting.pure_gate_single_port(5, 10, 32) == (40 + 64 + 2) * 5 + 32
+
+
+# -- comparator dedup: the closed forms become upper bounds ---------------
+
+def make_recurring_design(aw=3, dw=4):
+    """Two read ports sharing one address cone + one constant-address port."""
+    d = Design("recur")
+    t = d.latch("t", 2, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", aw, dw, read_ports=3, write_ports=1, init=0)
+    mem.write(0).connect(addr=d.input("wa", aw), data=d.input("wd", dw),
+                         en=d.input("we", 1))
+    ra = d.input("ra", aw)
+    mem.read(0).connect(addr=ra, en=1)
+    mem.read(1).connect(addr=ra, en=1)
+    mem.read(2).connect(addr=d.const(5, aw), en=1)
+    rd = mem.read(0).data
+    d.invariant("p", rd.ule((1 << dw) - 1))
+    return d
+
+
+def test_repeated_addresses_produce_cache_hits():
+    """Port 1 duplicates port 0's cone: its k comparisons per frame all hit;
+    port 2's constant address repeats across frames: k-1 hits per frame."""
+    depth = 4
+    emm = run_frames(make_recurring_design(), depth)
+    c = emm.counters
+    dup_hits = sum(k for k in range(depth + 1))          # port 1 vs port 0
+    const_hits = sum(k - 1 for k in range(1, depth + 1))  # port 2 cross-frame
+    assert c.addr_eq_cache_hits == dup_hits + const_hits
+    assert c.addr_eq_folded == 0  # no const-vs-const comparison here
+
+
+def test_constant_addresses_produce_folds():
+    """Constant read address vs constant write address folds to a constant."""
+    d = Design("constfold")
+    t = d.latch("t", 2, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", 3, 2, read_ports=2, write_ports=1, init=0)
+    mem.write(0).connect(addr=d.const(5, 3), data=d.input("wd", 2),
+                         en=d.input("we", 1))
+    mem.read(0).connect(addr=d.const(5, 3), en=1)  # always equal: TRUE
+    mem.read(1).connect(addr=d.const(2, 3), en=1)  # never equal: FALSE
+    d.invariant("p", mem.read(0).data.ule(3))
+    depth = 3
+    emm = run_frames(d, depth)
+    c = emm.counters
+    # Every (read, write-pair) comparison is const-vs-const: zero
+    # comparator clauses.  Each of the two distinct constant pairs folds
+    # once; the remaining comparisons are answered from the cache.
+    comparisons = 2 * sum(k for k in range(depth + 1))
+    assert c.addr_eq_folded == 2
+    assert c.addr_eq_cache_hits == comparisons - 2
+    assert c.addr_eq_clauses == 0
+
+
+def test_const_vs_symbolic_uses_short_form():
+    """A constant read address against a symbolic write address books m+1
+    clauses (the _addr_eq_const shape) instead of the full 4m+1."""
+    aw = 4
+    d = Design("constsym")
+    t = d.latch("t", 2, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", aw, 2, read_ports=1, write_ports=1, init=0)
+    mem.write(0).connect(addr=d.input("wa", aw), data=d.input("wd", 2),
+                         en=d.input("we", 1))
+    mem.read(0).connect(addr=d.const(9, aw), en=1)
+    d.invariant("p", mem.read(0).data.ule(3))
+    emm = run_frames(d, 1)  # depth 1: exactly one fresh comparison
+    c = emm.counters
+    assert c.addr_eq_clauses == accounting.addr_eq_clauses_const(aw)
+    assert c.addr_eq_cache_hits == 0
+
+
+def test_dedup_off_reproduces_paper_counts_on_recurring_design():
+    """With addr_dedup=False the recurring workload pays full price."""
+    depth = 3
+    on = run_frames(make_recurring_design(), depth)
+    off = run_frames(make_recurring_design(), depth, addr_dedup=False)
+    assert off.counters.addr_eq_cache_hits == 0
+    assert off.counters.addr_eq_folded == 0
+    # Off books the closed-form 4m+1 per pair: 3 ports x k pairs at depth k.
+    pairs = 3 * sum(k for k in range(depth + 1))
+    assert off.counters.addr_eq_clauses == \
+        pairs * accounting.addr_eq_clauses_full(3)
+    assert on.counters.addr_eq_clauses < off.counters.addr_eq_clauses
+    assert on.counters.vars_added < off.counters.vars_added

@@ -147,3 +147,47 @@ class TestStats:
         r = verify(d, "lt8", BmcOptions(max_depth=10))
         assert "lt8" in r.describe()
         assert "proved" in r.describe() or "induction" in r.describe()
+
+
+class TestTimePerDepth:
+    """One entry per analyzed depth — regression for the double-append on
+    the stop_check path and the bogus total-wall-time entry on loop exit."""
+
+    def free_design(self):
+        d = Design("free")
+        x = d.input("x", 4)
+        acc = d.latch("acc", 4, init=0)
+        acc.next = x
+        d.invariant("p", acc.expr.ule(15))  # trivially true, never proved
+        return d
+
+    def test_bounded_loop_exit(self):
+        r = verify(self.free_design(), "p",
+                   BmcOptions(max_depth=5, find_proof=False))
+        assert r.status == "bounded" and r.depth == 5
+        assert len(r.stats.time_per_depth) == r.depth + 1
+        # Depth entries must sum to no more than the total wall time (the
+        # old code appended the total as an extra "depth").
+        assert sum(r.stats.time_per_depth) <= r.stats.wall_time_s + 1e-9
+
+    def test_stop_check_path(self):
+        from repro.bmc import BmcEngine
+        eng = BmcEngine(self.free_design(), "p",
+                        BmcOptions(max_depth=10, find_proof=False))
+        r = eng.run(stop_check=lambda engine, depth: depth >= 2)
+        assert r.status == "bounded" and r.depth == 2
+        assert len(r.stats.time_per_depth) == r.depth + 1
+
+    def test_cex_path(self):
+        d, c = counter()
+        d.invariant("lt5", c.expr.ult(5))
+        r = verify(d, "lt5", BmcOptions(max_depth=20))
+        assert r.falsified and r.depth == 5
+        assert len(r.stats.time_per_depth) == r.depth + 1
+
+    def test_proof_path(self):
+        d, c = counter()
+        d.invariant("lt8", c.expr.ule(7))
+        r = verify(d, "lt8", BmcOptions(max_depth=20))
+        assert r.proved
+        assert len(r.stats.time_per_depth) == r.depth + 1

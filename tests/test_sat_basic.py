@@ -197,6 +197,62 @@ class TestBudget:
             # trivially easy instance: fine either way
             assert isinstance(r, SolveResult)
 
+    def test_budget_one_still_learns(self):
+        """max_conflicts=N analyzes N conflicts before aborting; the old
+        off-by-one aborted *on* the Nth so N=1 never learned anything.
+
+        Clauses over (a, b): deciding a=False propagates b and -b — the
+        first conflict, analyzed to the unit [a], which propagates into a
+        level-0 conflict: a definitive UNSAT, not an unknown.
+        """
+        s = make(2)
+        s.add_clause([1, 2])
+        s.add_clause([1, -2])
+        s.add_clause([-1, 2])
+        s.add_clause([-1, -2])
+        r = s.solve(max_conflicts=1)
+        assert r.unknown is False
+        assert r.sat is False
+        assert s.stats.learned == 1  # the unit [a] was learned
+        assert s.stats.conflicts == 2
+
+    def test_budget_zero_aborts_without_learning(self):
+        s = make(2)
+        s.add_clause([1, 2])
+        s.add_clause([1, -2])
+        s.add_clause([-1, 2])
+        s.add_clause([-1, -2])
+        r = s.solve(max_conflicts=0)
+        assert r.unknown
+        assert s.stats.learned == 0
+
+    def test_budget_exhaustion_aborts_next_conflict(self):
+        """With budget N, the (N+1)th conflict aborts; learned clauses
+        from the analyzed conflicts persist for the next solve call."""
+        import random
+        random.seed(11)
+        s = Solver(proof=False)
+        nv = 60
+        for _ in range(nv):
+            s.new_var()
+        for _ in range(int(nv * 4.3)):
+            lits = random.sample(range(1, nv + 1), 3)
+            s.add_clause([random.choice([1, -1]) * v for v in lits])
+        r = s.solve(max_conflicts=3)
+        if r.unknown:
+            assert s.stats.learned >= 3
+            learned_before = s.stats.learned
+            # The solver remains usable and keeps what it learned.
+            r2 = s.solve()
+            assert not r2.unknown
+            assert s.stats.learned >= learned_before
+
+    def test_budget_does_not_affect_easy_sat(self):
+        s = make(3)
+        s.add_clause([1, 2, 3])
+        r = s.solve(max_conflicts=1)
+        assert not r.unknown and r.sat
+
 
 class TestStats:
     def test_counters_move(self):
