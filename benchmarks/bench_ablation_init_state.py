@@ -12,7 +12,7 @@ Also measures the constraint overhead the consistency pairs add.
 import pytest
 
 from benchmarks import common
-from repro.bmc import BmcOptions, bmc3, verify
+from repro.bmc import BmcOptions, verify
 from repro.casestudies.quicksort import QuicksortParams, build_quicksort
 
 common.table(

@@ -13,6 +13,7 @@ from repro.aig import Aig, CnfEmitter
 from repro.bmc.unroller import Unroller
 from repro.design import Design
 from repro.emm import EmmMemory, accounting
+from repro.emm.gates import GateEmmMemory
 from repro.sat import Solver
 
 common.table(
@@ -37,6 +38,15 @@ common.table(
     note="emm_addr_dedup caches comparators per memory and folds constant "
          "addresses; 'drop' is the clauses+vars saving vs the paper's "
          "fresh-comparator encoding",
+)
+
+common.table(
+    "C2 — structural hashing on the gate EMM encoding",
+    ["AW", "DW", "depth", "cls+vars off", "cls+vars on", "drop",
+     "strash hits", "folds"],
+    note="strash hash-conses AIG nodes and dedups Tseitin gate triples; "
+         "'drop' is the SAT clauses+vars saving of the pure-gate EMM "
+         "encoding vs the unstrashed baseline on recurring addresses",
 )
 
 
@@ -149,6 +159,49 @@ def bench_addr_dedup(benchmark, aw, dw, depth):
                    aw, dw, depth, off.total_clauses, on.total_clauses,
                    off.vars_added, on.vars_added, f"{drop:.1%}",
                    on.addr_eq_cache_hits, on.addr_eq_folded)
+
+
+STRASH_CONFIGS = [(4, 4, 8), (4, 4, 20), (6, 8, 24)]
+
+
+@pytest.mark.parametrize("aw,dw,depth", STRASH_CONFIGS,
+                         ids=[f"m{c[0]}n{c[1]}k{c[2]}" for c in STRASH_CONFIGS])
+def bench_gate_strash(benchmark, aw, dw, depth):
+    """Acceptance check: the strashed gate encoding never emits more
+    clauses than the unstrashed baseline, and cuts clauses+vars >= 40%
+    at depth >= 20 on the recurring-address workload (CI's bench-smoke
+    job runs this at every push)."""
+
+    def run_one(strash):
+        solver = Solver(proof=False)
+        emitter = CnfEmitter(Aig(strash=strash), solver, strash=strash)
+        unroller = Unroller(build_recurring(aw, dw), emitter)
+        emm = GateEmmMemory(solver, unroller, "m", init_consistency=False)
+        for k in range(depth + 1):
+            unroller.add_frame()
+            emm.add_frame(k)
+        return solver, emm.counters
+
+    def run():
+        return run_one(False), run_one(True)
+
+    (s_off, c_off), (s_on, c_on) = benchmark.pedantic(run, rounds=1,
+                                                      iterations=1)
+    size_off = s_off.num_clauses + s_off.num_vars
+    size_on = s_on.num_clauses + s_on.num_vars
+    drop = 1.0 - size_on / size_off
+    assert s_on.num_clauses <= s_off.num_clauses, (
+        f"strash grew the CNF: {s_off.num_clauses} -> {s_on.num_clauses}")
+    assert s_on.num_vars <= s_off.num_vars
+    assert c_on.strash_hits > 0
+    assert c_off.strash_hits == 0 and c_off.strash_folds == 0
+    if depth >= 20:
+        assert drop >= 0.40, (
+            f"strash saved only {drop:.1%} of clauses+vars "
+            f"({size_off} -> {size_on}) at depth {depth}")
+    common.add_row("C2 — structural hashing on the gate EMM encoding",
+                   aw, dw, depth, size_off, size_on, f"{drop:.1%}",
+                   c_on.strash_hits, c_on.strash_folds)
 
 
 def bench_hybrid_vs_pure_gate(benchmark):

@@ -11,7 +11,7 @@ memory).  Reported EMM vs. Explicit, matching the Table 1 layout.
 import pytest
 
 from benchmarks import common
-from repro.bmc import BmcOptions, bmc1, bmc3, verify
+from repro.bmc import bmc1, bmc3, verify
 from repro.casestudies.cpu import CpuParams, build_cpu, memcpy_program
 from repro.design import expand_memories
 

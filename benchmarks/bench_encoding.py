@@ -19,9 +19,11 @@ from repro.casestudies.quicksort import QuicksortParams, build_quicksort
 
 common.table(
     "A3b — hybrid vs gate EMM encodings (measured at solve)",
-    ["workload", "encoding", "verdict", "depth", "SAT clauses", "time"],
-    note="Section 3's closing comparison run for real: both encodings "
-         "must agree; the hybrid one keeps the CNF smaller",
+    ["workload", "encoding", "verdict", "depth", "SAT clauses", "strash h/f",
+     "time"],
+    note="Section 3's closing comparison run for real: all encodings must "
+         "agree; the hybrid one keeps the CNF smaller, and structural "
+         "hashing closes most of the gate encoding's gap",
 )
 
 
@@ -46,22 +48,39 @@ WORKLOADS = {"quicksort-P2": _quicksort, "fifo-integrity": _fifo,
              "cpu-memcpy": _cpu}
 
 
+#: (label, emm_encoding, strash) rows measured per workload.  The
+#: unstrashed gate run is the baseline CI's bench-smoke job gates on:
+#: strash must never make the gate encoding bigger.
+VARIANTS = [("hybrid", "hybrid", True),
+            ("gates", "gates", True),
+            ("gates-nostrash", "gates", False)]
+
+
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))
 def bench_encoding(benchmark, workload):
     def run():
         out = {}
-        for encoding in ("hybrid", "gates"):
+        for label, encoding, strash in VARIANTS:
             design, prop, opts = WORKLOADS[workload]()
-            out[encoding] = verify(design, prop,
-                                   replace(opts, emm_encoding=encoding))
+            out[label] = verify(design, prop,
+                                replace(opts, emm_encoding=encoding,
+                                        strash=strash))
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     hybrid, gates = results["hybrid"], results["gates"]
-    assert hybrid.status == gates.status, (hybrid.status, gates.status)
-    assert hybrid.depth == gates.depth
-    for encoding, r in results.items():
+    baseline = results["gates-nostrash"]
+    assert hybrid.status == gates.status == baseline.status, (
+        hybrid.status, gates.status, baseline.status)
+    assert hybrid.depth == gates.depth == baseline.depth
+    # The strashed gate encoding must never exceed the unstrashed one.
+    assert gates.stats.sat_clauses <= baseline.stats.sat_clauses, (
+        gates.stats.sat_clauses, baseline.stats.sat_clauses)
+    assert gates.stats.sat_vars <= baseline.stats.sat_vars
+    for label, _, _ in VARIANTS:
+        r = results[label]
         common.add_row(
             "A3b — hybrid vs gate EMM encodings (measured at solve)",
-            workload, encoding, r.status, r.depth, r.stats.sat_clauses,
+            workload, label, r.status, r.depth, r.stats.sat_clauses,
+            f"{r.stats.strash_hits}h/{r.stats.strash_folds}f",
             f"{r.stats.wall_time_s:.2f}s")

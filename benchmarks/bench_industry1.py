@@ -10,7 +10,6 @@ beating explicit by a large factor on total witness time, and the
 induction proofs being nearly instant.
 """
 
-import pytest
 
 from benchmarks import common
 from repro.bmc import bmc1, bmc2, bmc3, verify

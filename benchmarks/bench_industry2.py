@@ -12,7 +12,6 @@ cheaper with EMM than explicit, and the final per-property proofs being
 near-instant on the reduced model.
 """
 
-import pytest
 
 from benchmarks import common
 from repro.bmc import BmcOptions, bmc1, bmc2, bmc3, verify

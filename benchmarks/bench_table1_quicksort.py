@@ -20,7 +20,7 @@ while explicit modeling exhausts its (scaled) time budget.
 import pytest
 
 from benchmarks import common
-from repro.bmc import BmcOptions, bmc1, bmc3, verify
+from repro.bmc import bmc1, bmc3, verify
 from repro.casestudies.quicksort import QuicksortParams, build_quicksort
 from repro.design import expand_memories
 

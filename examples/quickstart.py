@@ -13,7 +13,7 @@ Run:  python examples/quickstart.py
 
 import time
 
-from repro.bmc import BmcOptions, bmc1, bmc2, bmc3, verify
+from repro.bmc import bmc1, bmc2, bmc3, verify
 from repro.casestudies.fifo import FifoParams, build_fifo
 from repro.design import expand_memories
 

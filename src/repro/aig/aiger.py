@@ -36,7 +36,7 @@ def write_aag(out: TextIO, aig: Aig, inputs: Sequence[int],
     # Topological collection of AND nodes in the cone.
     ands: list[int] = []
     seen: set[int] = set(in_list) | {0}
-    stack = [l >> 1 for l in outputs]
+    stack = [lt >> 1 for lt in outputs]
     post: list[int] = []
     while stack:
         idx = stack.pop()
@@ -100,7 +100,7 @@ def parse_aag(text: TextIO | str) -> tuple[Aig, list[int], list[int]]:
     """
     if hasattr(text, "read"):
         text = text.read()  # type: ignore[union-attr]
-    lines = [l for l in str(text).splitlines() if l.strip()]
+    lines = [lt for lt in str(text).splitlines() if lt.strip()]
     header = lines[0].split()
     if header[0] != "aag":
         raise ValueError("not an ascii aiger (aag) file")
@@ -128,5 +128,5 @@ def parse_aag(text: TextIO | str) -> tuple[Aig, list[int], list[int]]:
         lit = aig.and_(lit_map[a], lit_map[b])
         lit_map[lhs] = lit
         lit_map[lhs ^ 1] = lit ^ 1
-    outputs = [lit_map[l] for l in out_aiger]
+    outputs = [lit_map[lt] for lt in out_aiger]
     return aig, inputs, outputs

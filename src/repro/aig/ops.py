@@ -3,6 +3,14 @@
 A *word* is a list of AIG literals, least-significant bit first.  These
 helpers are what the design unroller uses to lower word-level RTL
 expressions (adders, comparators, muxes) onto the bit-level AIG.
+
+Every helper routes through :meth:`repro.aig.aig.Aig.and_gate` (directly
+or via the or/xor/mux wrappers), so the whole word layer inherits the
+AIG's structural-hashing mode: with ``strash`` on, a recurring cone —
+the ``eq_word`` comparators the gate-based EMM encoding builds per
+(read, write-pair), the mux/ITE chains of ROM initial words, ripple
+adders over shared operands — is constructed once and every repeat
+returns the existing node.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ def not_word(word: Sequence[int]) -> Word:
 
 def and_word(aig: Aig, a: Sequence[int], b: Sequence[int]) -> Word:
     _check(a, b)
-    return [aig.and_(x, y) for x, y in zip(a, b)]
+    return [aig.and_gate(x, y) for x, y in zip(a, b)]
 
 
 def or_word(aig: Aig, a: Sequence[int], b: Sequence[int]) -> Word:
@@ -47,6 +55,10 @@ def mux_word(aig: Aig, sel: int, t: Sequence[int], e: Sequence[int]) -> Word:
     """Per-bit ``sel ? t : e``."""
     _check(t, e)
     return [aig.mux(sel, x, y) for x, y in zip(t, e)]
+
+
+#: ITE spelling of :func:`mux_word` (the word-level if-then-else).
+ite_word = mux_word
 
 
 def eq_word(aig: Aig, a: Sequence[int], b: Sequence[int]) -> int:
@@ -66,8 +78,9 @@ def add_word(aig: Aig, a: Sequence[int], b: Sequence[int],
     out: Word = []
     carry = carry_in
     for x, y in zip(a, b):
-        s = aig.xor_(aig.xor_(x, y), carry)
-        carry = aig.or_(aig.and_(x, y), aig.and_(carry, aig.xor_(x, y)))
+        half = aig.xor_(x, y)
+        s = aig.xor_(half, carry)
+        carry = aig.or_(aig.and_gate(x, y), aig.and_gate(carry, half))
         out.append(s)
     return out
 
@@ -90,9 +103,9 @@ def lt_unsigned(aig: Aig, a: Sequence[int], b: Sequence[int]) -> int:
     _check(a, b)
     lt = FALSE
     for x, y in zip(a, b):  # LSB to MSB; MSB decision dominates
-        bit_lt = aig.and_(lit_not(x), y)
+        bit_lt = aig.and_gate(lit_not(x), y)
         bit_eq = aig.iff_(x, y)
-        lt = aig.or_(bit_lt, aig.and_(bit_eq, lt))
+        lt = aig.or_(bit_lt, aig.and_gate(bit_eq, lt))
     return lt
 
 

@@ -6,27 +6,55 @@ Every clause carries the emitter's *current provenance label* — the BMC
 engine switches the label as it emits transition logic, EMM constraints,
 initial-state units and loop-free-path constraints, and proof-based
 abstraction later reads those labels back out of unsat cores.
+
+Structural clause dedup (``strash=True``, the default) adds a second,
+CNF-level hash layer: the three-clause triple of an AND gate is keyed on
+the canonically ordered pair of its fanin *SAT literals*, so a re-emitted
+cone whose AIG nodes are distinct but whose lowered structure repeats
+reuses the existing SAT variable instead of minting a new one and
+re-adding the clauses.  With AIG-level strashing on, node identity
+already dedups almost everything and this cache is a safety net; with the
+AIG unstrashed it is what keeps repeated cones from exploding the CNF.
+
+Provenance under sharing is *first-emitter-wins*: the clause triple keeps
+the label that was current when it was first emitted, and a later cache
+hit under a different label adds no clauses.  That is sound for
+proof-based abstraction — any core that uses the shared triple attributes
+it to a context that really does imply the gate's function — and it is
+pinned by a dedicated test (``tests/test_strash.py``).
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import Hashable, Optional, Sequence
 
 from repro.aig.aig import Aig
 from repro.sat.solver import Solver
 
 
 class CnfEmitter:
-    """Incrementally emits AIG cones as CNF into a :class:`Solver`."""
+    """Incrementally emits AIG cones as CNF into a :class:`Solver`.
 
-    def __init__(self, aig: Aig, solver: Solver) -> None:
+    Parameters
+    ----------
+    strash:
+        Enable the CNF-level gate-triple cache described in the module
+        docstring.  ``strash_hits`` counts gate emissions answered from
+        the cache (no new variable, no new clauses).
+    """
+
+    def __init__(self, aig: Aig, solver: Solver, strash: bool = True) -> None:
         self.aig = aig
         self.solver = solver
         self._var_of: dict[int, int] = {}  # AIG node index -> SAT var
         self._label: Hashable = None
-        self._const_var: int | None = None
+        self._const_var: Optional[int] = None
+        #: canonical (fanin SAT lit, fanin SAT lit) -> gate output var
+        self._gate_cache: Optional[dict[tuple[int, int], int]] = {} if strash else None
         #: Count of AND-gate clause triples emitted (for size accounting).
         self.gates_emitted = 0
+        #: Gate triples answered from the CNF-level cache.
+        self.strash_hits = 0
 
     # -- label management -------------------------------------------------
 
@@ -37,6 +65,11 @@ class CnfEmitter:
     @property
     def label(self) -> Hashable:
         return self._label
+
+    @property
+    def strash(self) -> bool:
+        """Whether the CNF-level gate-triple cache is enabled."""
+        return self._gate_cache is not None
 
     # -- lowering ---------------------------------------------------------
 
@@ -62,7 +95,7 @@ class CnfEmitter:
     def sat_word(self, word: Sequence[int]) -> list[int]:
         return [self.sat_lit(b) for b in word]
 
-    def var_for(self, aig_lit: int) -> int | None:
+    def var_for(self, aig_lit: int) -> Optional[int]:
         """SAT var already allocated for the literal's node, if any."""
         return self._var_of.get(aig_lit >> 1)
 
@@ -72,7 +105,7 @@ class CnfEmitter:
         """SAT literal that is always true (allocates the const var once)."""
         return self._ensure_const()
 
-    def const_value(self, sat_lit: int) -> bool | None:
+    def const_value(self, sat_lit: int) -> Optional[bool]:
         """Truth value of a SAT literal of the constant variable.
 
         Returns None for literals of any other (symbolic) variable —
@@ -85,7 +118,9 @@ class CnfEmitter:
 
     def add_clause(self, sat_lits: Sequence[int], label: Hashable = None) -> int:
         """Add a raw CNF clause (used for the paper's direct-CNF constraints)."""
-        return self.solver.add_clause(sat_lits, label if label is not None else self._label)
+        return self.solver.add_clause(
+            sat_lits, label if label is not None else self._label
+        )
 
     def assert_lit(self, aig_lit: int, label: Hashable = None) -> None:
         """Assert ``aig_lit`` as a unit clause."""
@@ -104,6 +139,7 @@ class CnfEmitter:
         var_of = self._var_of
         solver = self.solver
         label = self._label
+        gate_cache = self._gate_cache
         stack = [root_idx]
         while stack:
             idx = stack[-1]
@@ -128,14 +164,25 @@ class CnfEmitter:
             if missing:
                 continue
             stack.pop()
-            v = solver.new_var()
-            var_of[idx] = v
             la = self._existing_lit(a)
             lb = self._existing_lit(b)
+            if gate_cache is not None:
+                key = (la, lb) if la <= lb else (lb, la)
+                hit = gate_cache.get(key)
+                if hit is not None:
+                    # Same lowered structure: reuse the triple's output var.
+                    # Its clauses keep their original (first-emitter) label.
+                    var_of[idx] = hit
+                    self.strash_hits += 1
+                    continue
+            v = solver.new_var()
+            var_of[idx] = v
             solver.add_clause([-v, la], label)
             solver.add_clause([-v, lb], label)
             solver.add_clause([v, -la, -lb], label)
             self.gates_emitted += 1
+            if gate_cache is not None:
+                gate_cache[key] = v
 
     def _existing_lit(self, aig_lit: int) -> int:
         idx = aig_lit >> 1

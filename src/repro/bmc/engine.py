@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import resource
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.aig.aig import Aig
@@ -55,6 +55,12 @@ class BmcOptions:
     #: folding, :mod:`repro.emm.addrcmp`); False reproduces the paper's
     #: fresh-comparator-per-pair encoding for A/B comparisons.
     emm_addr_dedup: bool = True
+    #: Structural hashing of the AIG/CNF substrate: hash-consed
+    #: :meth:`repro.aig.aig.Aig.and_gate` nodes with constant folding,
+    #: plus the Tseitin emitter's CNF-level gate-triple cache
+    #: (:class:`repro.aig.tseitin.CnfEmitter`).  False builds every cone
+    #: fresh — the unstrashed baseline for A/B size comparisons.
+    strash: bool = True
     #: Latch-based abstraction: latches to keep (None = all).
     kept_latches: Optional[frozenset[str]] = None
     #: Memory abstraction: memories to keep EMM constraints for (None = all).
@@ -115,8 +121,9 @@ class BmcEngine:
                 "(repro.design.expand_memories) for the explicit baseline")
         need_proof_log = self.options.pba
         self.solver = Solver(proof=need_proof_log)
-        self.aig = Aig()
-        self.emitter = CnfEmitter(self.aig, self.solver)
+        self.aig = Aig(strash=self.options.strash)
+        self.emitter = CnfEmitter(self.aig, self.solver,
+                                  strash=self.options.strash)
         self.unroller = Unroller(design, self.emitter, self.options.kept_latches)
         self.a_init = self.solver.new_var()
         self.a_lfp = self.solver.new_var()
@@ -290,6 +297,9 @@ class BmcEngine:
                                            for e in self.emms.values())
         stats.emm_addr_eq_folded = sum(e.counters.addr_eq_folded
                                        for e in self.emms.values())
+        stats.strash_hits = self.aig.strash_hits + self.emitter.strash_hits
+        stats.strash_folds = self.aig.strash_folds
+        stats.aig_nodes = self.aig.num_ands
         stats.peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
         trace = None
         validated = None

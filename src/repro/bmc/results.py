@@ -34,6 +34,14 @@ class BmcRunStats:
     #: :mod:`repro.emm.addrcmp`).
     emm_addr_eq_cache_hits: int = 0
     emm_addr_eq_folded: int = 0
+    #: Structural-hashing savings of the whole run: AND requests answered
+    #: from the AIG hash table plus gate triples reused by the Tseitin
+    #: emitter's CNF-level cache, and AND requests folded to constants
+    #: (:mod:`repro.aig.aig`).  Zero when ``BmcOptions.strash`` is off.
+    strash_hits: int = 0
+    strash_folds: int = 0
+    #: AND nodes in the final AIG (after strashing, when enabled).
+    aig_nodes: int = 0
     peak_rss_mb: float = 0.0
 
     def summary(self) -> str:

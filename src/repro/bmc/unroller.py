@@ -11,9 +11,8 @@ input).  RD words stay free here; either the EMM constraints
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
-from repro.aig.aig import Aig, FALSE, TRUE
 from repro.aig import ops
 from repro.aig.tseitin import CnfEmitter
 from repro.design.netlist import Design, Expr
@@ -62,8 +61,8 @@ class Unroller:
         self.frames += 1
         aig = self.aig
         self._latch_words.append({
-            name: [aig.new_input(f"{name}.{b}@{k}") for b in range(l.width)]
-            for name, l in self.design.latches.items()
+            name: [aig.new_input(f"{name}.{b}@{k}") for b in range(lt.width)]
+            for name, lt in self.design.latches.items()
         })
         self._input_words.append({
             name: [aig.new_input(f"{name}.{b}@{k}") for b in range(i.width)]

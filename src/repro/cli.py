@@ -133,6 +133,7 @@ def cmd_verify(args) -> int:
         design = expand_memories(design)
         options = BmcOptions(use_emm=False, find_proof=not args.no_proof,
                              max_depth=args.max_depth,
+                             strash=not args.no_strash,
                              timeout_s=args.timeout)
     else:
         options = BmcOptions(use_emm=True,
@@ -140,6 +141,8 @@ def cmd_verify(args) -> int:
                              max_depth=args.max_depth,
                              exclusivity=not args.no_exclusivity,
                              init_consistency=not args.no_init_consistency,
+                             emm_addr_dedup=not args.no_addr_dedup,
+                             strash=not args.no_strash,
                              timeout_s=args.timeout)
     props = [args.property] if args.property else sorted(design.properties)
     status = 0
@@ -263,6 +266,12 @@ def main(argv=None) -> int:
                           help="skip induction termination checks")
     p_verify.add_argument("--no-exclusivity", action="store_true",
                           help="ablation: naive forwarding encoding")
+    p_verify.add_argument("--no-addr-dedup", action="store_true",
+                          help="disable the EMM address-comparator cache "
+                               "(paper's fresh-comparator encoding)")
+    p_verify.add_argument("--no-strash", action="store_true",
+                          help="disable AIG/CNF structural hashing "
+                               "(unstrashed baseline encoding)")
     p_verify.add_argument("--no-init-consistency", action="store_true",
                           help="ablation: drop equation (6) constraints")
     p_verify.add_argument("--show-trace", action="store_true")

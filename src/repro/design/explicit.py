@@ -12,7 +12,7 @@ which is what makes BMC blow up and motivates EMM.
 
 from __future__ import annotations
 
-from repro.design.netlist import Design, Expr, Memory
+from repro.design.netlist import Design, Expr
 from repro.design.rewrite import ExprRewriter
 
 

@@ -8,7 +8,7 @@ a malformed design fails fast, not inside the SAT solver.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence, Union
+from typing import Iterable, Mapping, Optional, Union
 
 ExprLike = Union["Expr", int]
 
@@ -490,7 +490,7 @@ class Design:
 
     def num_latch_bits(self) -> int:
         """Latch bits excluding memory registers (the paper's 'FF' count)."""
-        return sum(l.width for l in self.latches.values())
+        return sum(lit.width for lit in self.latches.values())
 
     def num_memory_bits(self) -> int:
         return sum(m.num_bits for m in self.memories.values())

@@ -130,7 +130,7 @@ def write_verilog(out: TextIO, design: Design,
     namer = _WireNamer(design)
 
     # Pre-walk everything so wire definitions land before their uses.
-    latch_next = {n: namer.ref(l.next) for n, l in design.latches.items()}
+    latch_next = {n: namer.ref(lit.next) for n, lit in design.latches.items()}
     port_exprs: dict = {}
     for mem in design.memories.values():
         for port in mem.read_ports:

@@ -77,6 +77,13 @@ class EmmCounters:
     #: paper-formula counters are independent of ``check_races``)
     race_addr_eq_cache_hits: int = 0
     race_addr_eq_folded: int = 0
+    #: AIG/CNF structural-hashing savings attributed to this memory's
+    #: constraint construction (gate encoding only: the hybrid encoder
+    #: emits CNF directly and books its sharing into the addr_eq_*
+    #: counters above).  Hits are reused AND cones, folds are requests
+    #: collapsed by constant/idempotence/complement rules.
+    strash_hits: int = 0
+    strash_folds: int = 0
     per_frame: list[dict] = field(default_factory=list)
 
     @property
@@ -141,6 +148,7 @@ class EmmMemory:
                  addr_dedup: bool = True) -> None:
         self.solver = solver
         self.unroller = unroller
+        self.emitter = unroller.emitter
         self.mem = unroller.design.memories[mem_name]
         self.name = mem_name
         self.exclusivity = exclusivity
@@ -218,18 +226,27 @@ class EmmMemory:
         c = self.counters
 
         # 1. Address comparison + s = E ∧ WE per (frame, write port) pair.
-        s_lits: list[list[int]] = []  # [frame j][write port w]
+        # A comparator that folded to constant FALSE makes the pair dead:
+        # its s/PS gates and read-data clauses are skipped entirely (the
+        # entry is None); a fold to constant TRUE makes s coincide with WE
+        # and saves the E ∧ WE gate.
+        label_excl = ("emm", self.name, "excl")
+        s_lits: list[list[Optional[int]]] = []  # [frame j][write port w]
         for j in range(k):
-            row = []
+            row: list[Optional[int]] = []
             for w in range(w_ports):
                 wsig = self._writes[j][w]
                 e_var = self._addr_eq(read.addr, wsig.addr,
                                       ("emm", self.name, "addr_eq"), c, "addr_eq_clauses")
-                s = self._and2(e_var, wsig.en, ("emm", self.name, "excl"))
-                row.append(s)
+                folded = self.emitter.const_value(e_var)
+                if folded is False:
+                    row.append(None)  # address never matches: dead pair
+                elif folded is True:
+                    row.append(wsig.en)  # always matches: s == WE
+                else:
+                    row.append(self._and2(e_var, wsig.en, label_excl))
             s_lits.append(row)
 
-        label_excl = ("emm", self.name, "excl")
         label_rd = ("emm", self.name, "rd")
         n_bits = mem.data_width
 
@@ -241,6 +258,8 @@ class EmmMemory:
             for j in range(k - 1, -1, -1):
                 for w in range(w_ports - 1, -1, -1):
                     s = s_lits[j][w]
+                    if s is None:
+                        continue  # folded-FALSE pair: PS passes through
                     s_sig = self._and2(s, ps_next, label_excl)
                     ps = self._and2(-s, ps_next, label_excl)
                     pairs.append((j, w, s_sig))
@@ -264,7 +283,10 @@ class EmmMemory:
             order: list[tuple[int, int]] = []
             for j in range(k - 1, -1, -1):
                 for w in range(w_ports - 1, -1, -1):
-                    flat.append(s_lits[j][w])
+                    s = s_lits[j][w]
+                    if s is None:
+                        continue  # folded-FALSE pair contributes nothing
+                    flat.append(s)
                     order.append((j, w))
             for idx, (j, w) in enumerate(order):
                 s = flat[idx]
@@ -365,10 +387,16 @@ class EmmMemory:
             for j in range(i + 1, len(writes)):
                 eq = self.race_cmp.eq(writes[i].addr, writes[j].addr, label,
                                       c, "race_addr_eq_clauses")
+                folded = self.emitter.const_value(eq)
+                if folded is False:
+                    continue  # distinct constant addresses: no race possible
                 both = self._and2(writes[i].en, writes[j].en, label,
                                   gate_counter="race_gates")
-                pair_lits.append(self._and2(eq, both, label,
-                                            gate_counter="race_gates"))
+                if folded is True:
+                    pair_lits.append(both)  # same address cone: race = both
+                else:
+                    pair_lits.append(self._and2(eq, both, label,
+                                                gate_counter="race_gates"))
         if not pair_lits:
             # Single write port: a race is structurally impossible.
             race = self._new_var()

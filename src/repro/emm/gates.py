@@ -89,8 +89,12 @@ class GateEmmMemory:
                              f"{self._frames})")
         self._frames += 1
         un = self.unroller
-        ands_before = self.aig.num_ands
+        aig = self.aig
+        em = self.emitter
+        ands_before = aig.num_ands
         clauses_before = self.solver.num_clauses
+        hits_before = aig.strash_hits + em.strash_hits
+        folds_before = aig.strash_folds
         writes = [un.write_port_aig(self.name, w, k)
                   for w in range(self.mem.num_write_ports)]
         self._writes.append(writes)
@@ -98,10 +102,16 @@ class GateEmmMemory:
             if r not in self.kept_read_ports:
                 continue
             self._constrain_read(k, r, un.read_port_aig(self.name, r, k))
-        self.counters.excl_gates += self.aig.num_ands - ands_before
+        hits = aig.strash_hits + em.strash_hits - hits_before
+        folds = aig.strash_folds - folds_before
+        self.counters.excl_gates += aig.num_ands - ands_before
         self.counters.rd_clauses += self.solver.num_clauses - clauses_before
-        frame = {"gates": self.aig.num_ands - ands_before,
-                 "clauses": self.solver.num_clauses - clauses_before}
+        self.counters.strash_hits += hits
+        self.counters.strash_folds += folds
+        frame = {"gates": aig.num_ands - ands_before,
+                 "clauses": self.solver.num_clauses - clauses_before,
+                 "strash_hits": hits,
+                 "strash_folds": folds}
         self.counters.per_frame.append(frame)
 
     def _constrain_read(self, k: int, r: int, read: PortSignals) -> None:
@@ -114,12 +124,17 @@ class GateEmmMemory:
         for j in range(k - 1, -1, -1):
             for w in range(self.mem.num_write_ports - 1, -1, -1):
                 wsig = self._writes[j][w]
-                s = aig.and_(ops.eq_word(aig, read.addr, wsig.addr), wsig.en)
-                s_excl = aig.and_(s, ps)
-                ps = aig.and_(s ^ 1, ps)  # AIG literals negate via bit 0
+                s = aig.and_gate(ops.eq_word(aig, read.addr, wsig.addr),
+                                 wsig.en)
+                if s == FALSE:
+                    # Comparator folded FALSE (or WE is constant 0): the
+                    # pair is dead — skip its chain and data gates.
+                    continue
+                s_excl = aig.and_gate(s, ps)
+                ps = aig.and_gate(s ^ 1, ps)  # AIG literals negate via bit 0
                 for b in range(n_bits):
                     value[b] = aig.or_(value[b],
-                                       aig.and_(s_excl, wsig.data[b]))
+                                       aig.and_gate(s_excl, wsig.data[b]))
         n_lit = ps  # no write matched: fall through to the initial state
         init_word = self._initial_word(read.addr, n_lit, read, k, r)
         for b in range(n_bits):

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.bmc.engine import BmcEngine, BmcOptions
-from repro.bmc.results import BOUNDED, CEX, PROOF, TIMEOUT, BmcResult
+from repro.bmc.results import CEX, PROOF, BmcResult
 from repro.design.cone import latch_support, memory_control_latches
 from repro.design.netlist import Design
 

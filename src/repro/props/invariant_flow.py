@@ -22,7 +22,7 @@ from typing import Optional
 
 from repro.bmc.engine import BmcOptions, verify
 from repro.bmc.results import PROOF, BmcResult
-from repro.design.netlist import Design, Expr
+from repro.design.netlist import Design
 from repro.design.rewrite import ExprRewriter
 
 

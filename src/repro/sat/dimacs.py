@@ -45,5 +45,5 @@ def write_dimacs(out: TextIO, num_vars: int,
         out.write(f"c {comment}\n")
     out.write(f"p cnf {num_vars} {len(clause_list)}\n")
     for clause in clause_list:
-        out.write(" ".join(str(l) for l in clause))
+        out.write(" ".join(str(lt) for lt in clause))
         out.write(" 0\n")

@@ -158,7 +158,7 @@ def _xor_direct(lits: Sequence[int], parity: bool,
         # Forbid assignments with the wrong parity: the clause negates
         # the assignment where literal i is true iff bit i of mask is 0.
         if (flips % 2 == 0) == parity:
-            add_clause([-l if (mask >> i) & 1 else l
-                        for i, l in enumerate(lits)])
+            add_clause([-lt if (mask >> i) & 1 else lt
+                        for i, lt in enumerate(lits)])
             n += 1
     return n

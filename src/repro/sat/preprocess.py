@@ -73,18 +73,18 @@ class SimplifyResult:
             return val == (lit > 0)
 
         for clause in self.clauses:
-            if not any(lit_true(l) for l in clause):
+            if not any(lit_true(lt) for lt in clause):
                 raise ValueError("model does not satisfy the simplified CNF")
         for var, clauses in reversed(self._stack):
             # The variable was eliminated by resolution: one polarity
             # always works.  Try False, flip if some clause needs True.
             full.setdefault(var, False)
             for clause in clauses:
-                if not any(lit_true(l) for l in clause):
+                if not any(lit_true(lt) for lt in clause):
                     full[var] = not full[var]
                     break
             for clause in clauses:
-                if not any(lit_true(l) for l in clause):
+                if not any(lit_true(lt) for lt in clause):
                     raise ValueError(
                         f"reconstruction failed for variable {var}")
         return full
@@ -207,7 +207,7 @@ class Preprocessor:
                 continue
             sig = sigs[cid]
             # Candidates: clauses sharing the least-occurring literal.
-            best_lit = min(clause, key=lambda l: len(self._occur.get(l, set())))
+            best_lit = min(clause, key=lambda lt: len(self._occur.get(lt, set())))
             for other_id in list(self._occur.get(best_lit, set())):
                 if other_id == cid:
                     continue
@@ -224,7 +224,7 @@ class Preprocessor:
             # (clause \ {l}) ∪ {-l} ⊆ other, drop -l from other.
             for lit in clause:
                 flipped = tuple(sorted(
-                    [-lit] + [l for l in clause if l != lit], key=abs))
+                    [-lit] + [lt for lt in clause if lt != lit], key=abs))
                 fsig = _signature(flipped)
                 for other_id in list(self._occur.get(-lit, set())):
                     if other_id == cid:
@@ -235,7 +235,7 @@ class Preprocessor:
                     if fsig & ~sigs.get(other_id, 0):
                         continue
                     if set(flipped) <= set(other):
-                        stronger = tuple(l for l in other if l != -lit)
+                        stronger = tuple(lt for lt in other if lt != -lit)
                         self._remove(other_id)
                         new_id = self._store(stronger)
                         if new_id is not None:
@@ -281,17 +281,17 @@ class Preprocessor:
 
     @staticmethod
     def _resolve(p: Clause, n: Clause, var: int) -> Optional[Clause]:
-        merged: set[int] = set(l for l in p if l != var)
-        for l in n:
-            if l == -var:
+        merged: set[int] = set(lt for lt in p if lt != var)
+        for lt in n:
+            if lt == -var:
                 continue
-            if -l in merged:
+            if -lt in merged:
                 return None  # tautological resolvent
-            merged.add(l)
+            merged.add(lt)
         return tuple(sorted(merged, key=abs))
 
     def _occur_vars(self) -> set[int]:
-        return {abs(l) for l, occ in self._occur.items() if occ}
+        return {abs(lt) for lt, occ in self._occur.items() if occ}
 
     def _store(self, clause: Clause) -> Optional[int]:
         if self._unsat:
@@ -340,7 +340,7 @@ class Preprocessor:
         for cid in list(self._occur.get(-lit, set())):
             clause = self._clauses[cid]
             self._remove(cid)
-            self._store(tuple(l for l in clause if l != -lit))
+            self._store(tuple(lt for lt in clause if lt != -lit))
 
     def _result(self) -> SimplifyResult:
         return SimplifyResult(

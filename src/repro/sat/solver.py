@@ -250,10 +250,10 @@ class Solver:
         """
         if self._broken:
             return -1
-        ilits = [_to_internal(l) for l in lits]
-        for l in ilits:
-            if not 1 <= (l >> 1) <= self.num_vars:
-                raise ValueError(f"literal {_to_external(l)} references unknown variable")
+        ilits = [_to_internal(lt) for lt in lits]
+        for lt in ilits:
+            if not 1 <= (lt >> 1) <= self.num_vars:
+                raise ValueError(f"literal {_to_external(lt)} references unknown variable")
         if self._trail_lim:
             self._cancel_until(0)
         # Simplify against level-0 assignments and duplicates.  The ids of
@@ -262,18 +262,18 @@ class Solver:
         out: list[int] = []
         seen: set[int] = set()
         simplify_deps: list[int] = []
-        for l in ilits:
-            v = self._lit_value(l)
-            if v == _TRUE or (l ^ 1) in seen:
+        for lt in ilits:
+            v = self._lit_value(lt)
+            if v == _TRUE or (lt ^ 1) in seen:
                 return -1  # clause already satisfied / tautology
-            if l in seen:
+            if lt in seen:
                 continue
             if v == _FALSE:
                 if self.proof_logging:
-                    simplify_deps.extend(self._explain_level0(l >> 1))
+                    simplify_deps.extend(self._explain_level0(lt >> 1))
                 continue
-            seen.add(l)
-            out.append(l)
+            seen.add(lt)
+            out.append(lt)
         cid = len(self._clauses)
         self._clauses.append(out if out else list(ilits))
         self._labels[cid] = label
@@ -321,10 +321,10 @@ class Solver:
         budget_left = max_conflicts
         self._last_failed = ()
         self._unsat_core_cids = None
-        iassumps = [_to_internal(l) for l in assumptions]
-        for l in iassumps:
-            if not 1 <= (l >> 1) <= self.num_vars:
-                raise ValueError(f"assumption {_to_external(l)} references unknown variable")
+        iassumps = [_to_internal(lt) for lt in assumptions]
+        for lt in iassumps:
+            if not 1 <= (lt >> 1) <= self.num_vars:
+                raise ValueError(f"assumption {_to_external(lt)} references unknown variable")
         self._cancel_until(0)
         confl = self._propagate()
         if confl != -1:
@@ -468,7 +468,7 @@ class Solver:
                 raise KeyError(f"clause {cid} deleted and not retained "
                                "(was proof logging enabled?)")
             lits = stash
-        return tuple(_to_external(l) for l in lits)
+        return tuple(_to_external(lt) for lt in lits)
 
     # ------------------------------------------------------------------
     # Internal machinery
@@ -653,8 +653,8 @@ class Solver:
         newly_seen: list[int] = []
         proof = self.proof_logging
         while stack:
-            l = stack.pop()
-            r = self._reasons[l >> 1]
+            lt = stack.pop()
+            r = self._reasons[lt >> 1]
             if r == -1:
                 for v in newly_seen:
                     seen[v] = False
@@ -664,7 +664,7 @@ class Solver:
             local_used.append(r)
             for q in lits:
                 v = q >> 1
-                if v == l >> 1:
+                if v == lt >> 1:
                     continue
                 if seen[v]:
                     continue
@@ -769,7 +769,7 @@ class Solver:
                 if w not in seen_vars:
                     seen_vars.add(w)
                     stack.append(w)
-        self._last_failed = tuple(sorted(_to_external(l) for l in failed_internal))
+        self._last_failed = tuple(sorted(_to_external(lt) for lt in failed_internal))
         if self.proof_logging:
             self._unsat_core_cids = self._expand_to_originals(cids)
 
@@ -854,7 +854,7 @@ class Solver:
     def _reduce_db(self) -> None:
         """Remove the lower-activity half of non-reason learned clauses."""
         self._max_learnts *= self._learnt_growth
-        locked = {self._reasons[l >> 1] for l in self._trail}
+        locked = {self._reasons[lt >> 1] for lt in self._trail}
         ids = sorted(self._learned_ids, key=lambda c: self._clause_act.get(c, 0.0))
         keep: list[int] = []
         to_delete = len(ids) // 2

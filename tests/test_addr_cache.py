@@ -19,7 +19,6 @@ from repro.bmc import BmcOptions, bmc3, verify
 from repro.bmc.unroller import Unroller
 from repro.design import Design
 from repro.emm import AddrComparator, EmmMemory, accounting
-from repro.emm.gates import GateEmmMemory
 from repro.sat import Solver
 
 

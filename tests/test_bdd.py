@@ -157,20 +157,20 @@ class TestReachability:
 
     def test_arbitrary_init_latch(self):
         d = Design("t")
-        l = d.latch("l", 2, init=None)
-        l.next = l.expr
-        d.invariant("p", l.expr.ne(3))
+        lit = d.latch("l", 2, init=None)
+        lit.next = lit.expr
+        d.invariant("p", lit.expr.ne(3))
         r = bdd_model_check(d, "p")
         assert r.status == "cex" and r.cex_depth == 0
 
     def test_memories_rejected(self):
         d = Design("t")
-        l = d.latch("l", 1, init=0)
-        l.next = l.expr
+        lit = d.latch("l", 1, init=0)
+        lit.next = lit.expr
         mem = d.memory("m", 2, 2, init=0)
         mem.write(0).connect(addr=0, data=0, en=0)
         mem.read(0).connect(addr=0, en=1)
-        d.invariant("p", l.expr.eq(0))
+        d.invariant("p", lit.expr.eq(0))
         with pytest.raises(ValueError, match="memory-free"):
             bdd_model_check(d, "p")
 

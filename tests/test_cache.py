@@ -1,6 +1,5 @@
 """Cache-controller case study."""
 
-import pytest
 
 from repro.bmc import bmc2, bmc3, verify
 from repro.casestudies.cache import CacheParams, build_cache

@@ -1,6 +1,5 @@
 """Counterexample extraction: traces, initial-memory reconstruction."""
 
-import pytest
 
 from repro.bmc import BmcOptions, bmc2, verify
 from repro.design import Design

@@ -106,19 +106,19 @@ class TestDeclarations:
 
     def test_latch_init_masked(self):
         d = Design("t")
-        l = d.latch("l", 3, init=0xFF)
-        assert l.init == 7
+        lit = d.latch("l", 3, init=0xFF)
+        assert lit.init == 7
 
     def test_arbitrary_init(self):
         d = Design("t")
-        l = d.latch("l", 3, init=None)
-        assert l.init is None
+        lit = d.latch("l", 3, init=None)
+        assert lit.init is None
 
     def test_latch_next_width_check(self):
         d = Design("t")
-        l = d.latch("l", 3)
+        lit = d.latch("l", 3)
         with pytest.raises(ValueError):
-            l.next = d.input("x", 4)
+            lit.next = d.input("x", 4)
 
     def test_memory_ports(self):
         d = Design("t")
@@ -142,16 +142,16 @@ class TestValidation:
 
     def test_unconnected_port(self):
         d = Design("t")
-        l = d.latch("l", 1)
-        l.next = l.expr
+        lit = d.latch("l", 1)
+        lit.next = lit.expr
         d.memory("m", 2, 2)
         with pytest.raises(ValueError, match="unconnected"):
             d.validate()
 
     def test_port_cycle_detected(self):
         d = Design("t")
-        l = d.latch("l", 1)
-        l.next = l.expr
+        lit = d.latch("l", 1)
+        lit.next = lit.expr
         m = d.memory("m", 2, 2, read_ports=2)
         rd0 = m.read(0).data
         rd1 = m.read(1).data
@@ -163,10 +163,10 @@ class TestValidation:
 
     def test_chained_ports_allowed(self):
         d = Design("t")
-        l = d.latch("l", 2)
-        l.next = l.expr
+        lit = d.latch("l", 2)
+        lit.next = lit.expr
         m = d.memory("m", 2, 2, read_ports=2)
-        rd0 = m.read(0).connect(addr=l.expr, en=1)
+        rd0 = m.read(0).connect(addr=lit.expr, en=1)
         m.read(1).connect(addr=rd0, en=1)
         m.write(0).connect(addr=0, data=0, en=0)
         d.validate()
@@ -230,8 +230,8 @@ class TestCones:
     def test_stats(self):
         d = Design("t")
         d.input("x", 3)
-        l = d.latch("l", 4)
-        l.next = l.expr
+        lit = d.latch("l", 4)
+        lit.next = lit.expr
         d.memory("m", 2, 8)
         s = d.stats()
         assert s["inputs"] == 3

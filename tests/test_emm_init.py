@@ -70,8 +70,8 @@ class TestArbitraryInitFalsification:
     def test_arbitrary_init_cex_at_depth0(self):
         d = Design("arb")
         a = d.input("a", 2)
-        l = d.latch("l", 1, init=0)
-        l.next = l.expr
+        lit = d.latch("l", 1, init=0)
+        lit.next = lit.expr
         mem = d.memory("m", 2, 4, init=None)
         mem.write(0).connect(addr=0, data=0, en=0)
         rd = mem.read(0).connect(addr=a, en=1)

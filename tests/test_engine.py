@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bmc import BmcEngine, BmcOptions, bmc1, bmc2, bmc3, verify
-from repro.design import Design, expand_memories
+from repro.design import Design
 
 
 def counter(width=3, init=0):
@@ -67,12 +67,12 @@ class TestStatuses:
 class TestOptions:
     def test_memories_require_emm(self):
         d = Design("m")
-        l = d.latch("l", 1, init=0)
-        l.next = l.expr
+        lit = d.latch("l", 1, init=0)
+        lit.next = lit.expr
         mem = d.memory("mem", 2, 2, init=0)
         mem.write(0).connect(addr=0, data=0, en=0)
         mem.read(0).connect(addr=0, en=1)
-        d.invariant("p", l.expr.eq(0))
+        d.invariant("p", lit.expr.eq(0))
         with pytest.raises(ValueError, match="use_emm"):
             BmcEngine(d, "p", BmcOptions(use_emm=False))
 
@@ -110,9 +110,9 @@ class TestOptions:
 
     def test_arbitrary_latch_init_unconstrained(self):
         d = Design("arb")
-        l = d.latch("l", 3, init=None)
-        l.next = l.expr
-        d.invariant("p", l.expr.ne(5))
+        lit = d.latch("l", 3, init=None)
+        lit.next = lit.expr
+        d.invariant("p", lit.expr.ne(5))
         r = verify(d, "p", BmcOptions(max_depth=3))
         assert r.falsified and r.depth == 0
         assert r.trace.init_latches["l"] == 5

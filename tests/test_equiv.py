@@ -35,10 +35,10 @@ class TestBuildMiter:
         a, ea = counter("a", 1)
         b = Design("b")
         b.input("other", 2)
-        l = b.latch("c", 4, init=0)
-        l.next = l.expr
+        lit = b.latch("c", 4, init=0)
+        lit.next = lit.expr
         with pytest.raises(ValueError, match="input"):
-            build_miter(a, b, [(ea, l.expr)])
+            build_miter(a, b, [(ea, lit.expr)])
 
     def test_width_mismatch_rejected(self):
         a, ea = counter("a", 1, width=4)

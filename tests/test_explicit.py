@@ -84,8 +84,8 @@ class TestExpansion:
 
     def test_arbitrary_init_maps_to_free_latches(self):
         d = Design("t")
-        l = d.latch("l", 1)
-        l.next = l.expr
+        lit = d.latch("l", 1)
+        lit.next = lit.expr
         mem = d.memory("m", 2, 4, init=None)
         mem.write(0).connect(addr=0, data=0, en=0)
         mem.read(0).connect(addr=0, en=1)

@@ -1,13 +1,11 @@
 """Extensions beyond the base algorithms: data-race checking, port-level
 abstraction, iterative abstraction."""
 
-import pytest
 
-from repro.bmc import BmcOptions, bmc2, verify
+from repro.bmc import BmcOptions, verify
 from repro.design import Design
 from repro.emm import find_data_race
 from repro.pba import iterative_abstraction, run_pba_phase
-from repro.sim import Simulator
 
 
 def racy_design(guarded: bool):

@@ -2,11 +2,9 @@
 
 import random
 
-import pytest
-
-from repro.bmc import BmcOptions, bmc2, bmc3, verify
+from repro.bmc import bmc2, bmc3, verify
 from repro.casestudies.fifo import FifoParams, build_fifo
-from repro.casestudies.stack_machine import (OP_NOP, OP_POP, OP_PUSH,
+from repro.casestudies.stack_machine import (OP_POP, OP_PUSH,
                                              StackMachineParams,
                                              build_stack_machine)
 from repro.sim import Simulator

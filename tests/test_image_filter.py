@@ -1,8 +1,7 @@
 """Image filter (Industry Design I analog): witnesses and induction proofs."""
 
-import pytest
 
-from repro.bmc import BmcOptions, bmc2, bmc3, verify
+from repro.bmc import bmc2, bmc3, verify
 from repro.casestudies.image_filter import (DONE, FILTER, INGEST,
                                             ImageFilterParams,
                                             build_image_filter)

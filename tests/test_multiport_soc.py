@@ -1,6 +1,5 @@
 """Multiport SoC (Industry Design II analog): the full paper flow."""
 
-import pytest
 
 from repro.bmc import BmcOptions, bmc2, bmc3, verify
 from repro.casestudies.multiport_soc import (MultiportSocParams,

@@ -1,6 +1,5 @@
 """Proof-based abstraction: latch reasons, stability, memory abstraction."""
 
-import pytest
 
 from repro.bmc import BmcOptions, verify
 from repro.design import Design

@@ -15,7 +15,7 @@ def brute_force_models(num_vars, clauses):
     models = []
     for bits in itertools.product([False, True], repeat=num_vars):
         assignment = {v: bits[v - 1] for v in range(1, num_vars + 1)}
-        ok = all(any(assignment[abs(l)] == (l > 0) for l in c)
+        ok = all(any(assignment[abs(lit)] == (lit > 0) for lit in c)
                  for c in clauses)
         if ok:
             models.append(assignment)
@@ -114,7 +114,7 @@ class TestVariableElimination:
         model, res = solve_with_preprocessing(3, clauses)
         assert model is not None
         for c in clauses:
-            assert any(model[abs(l)] == (l > 0) for l in c)
+            assert any(model[abs(lit)] == (lit > 0) for lit in c)
 
 
 class TestTautologyAndEdges:
@@ -157,7 +157,7 @@ class TestModelReconstruction:
         model, res = solve_with_preprocessing(4, clauses)
         assert model is not None
         for c in clauses:
-            assert any(model[abs(l)] == (l > 0) for l in c), (c, model)
+            assert any(model[abs(lit)] == (lit > 0) for lit in c), (c, model)
 
 
 def random_cnf(rng, num_vars, num_clauses, max_width=3):
@@ -179,7 +179,7 @@ class TestEquisatisfiabilityFuzz:
         assert (model is not None) == expected
         if model is not None:
             for c in clauses:
-                assert any(model[abs(l)] == (l > 0) for l in c)
+                assert any(model[abs(lit)] == (lit > 0) for lit in c)
 
     @pytest.mark.parametrize("seed", range(10))
     def test_growth_budget_still_sound(self, seed):
@@ -221,4 +221,4 @@ class TestHypothesis:
         model, __ = solve_with_preprocessing(num_vars, clauses)
         if model is not None:
             for c in clauses:
-                assert any(model.get(abs(l), False) == (l > 0) for l in c)
+                assert any(model.get(abs(lit), False) == (lit > 0) for lit in c)

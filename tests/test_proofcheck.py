@@ -4,9 +4,8 @@ import random
 
 import pytest
 
-from repro.sat.proofcheck import (ProofCheckReport, certify_unsat,
-                                  check_all_learned, check_core,
-                                  check_learned_clause)
+from repro.sat.proofcheck import (certify_unsat, check_all_learned,
+                                  check_core, check_learned_clause)
 from repro.sat.solver import Solver
 
 

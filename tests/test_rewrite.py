@@ -10,12 +10,12 @@ from repro.sim import Simulator
 def source_design():
     d = Design("src")
     x = d.input("x", 4)
-    l = d.latch("l", 4, init=1)
-    l.next = l.expr + x
+    lit = d.latch("l", 4, init=1)
+    lit.next = lit.expr + x
     mem = d.memory("m", 2, 4, init=0)
     mem.write(0).connect(addr=0, data=x, en=1)
     rd = mem.read(0).connect(addr=0, en=1)
-    d.invariant("p", (l.expr ^ rd).ne(3))
+    d.invariant("p", (lit.expr ^ rd).ne(3))
     return d
 
 
@@ -71,9 +71,9 @@ class TestRewriter:
     def test_constants_and_structure_preserved(self):
         src = Design("s")
         a = src.input("a", 3)
-        l = src.latch("l", 3, init=2)
-        l.next = a.eq(5).ite(l.expr + 1, l.expr - 1)
-        src.invariant("p", l.expr.ne(7))
+        lit = src.latch("l", 3, init=2)
+        lit.next = a.eq(5).ite(lit.expr + 1, lit.expr - 1)
+        src.invariant("p", lit.expr.ne(7))
         dst = Design("d2")
         dst.input("a", 3)
         dl = dst.latch("l", 3, init=2)

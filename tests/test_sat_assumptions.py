@@ -30,9 +30,9 @@ def make_solver(num_vars, clauses, proof=True):
 def brute_sat(num_vars, clauses, units=()):
     for bits in itertools.product([False, True], repeat=num_vars):
         assign = {v: bits[v - 1] for v in range(1, num_vars + 1)}
-        if any(assign[abs(l)] != (l > 0) for l in units):
+        if any(assign[abs(lit)] != (lit > 0) for lit in units):
             continue
-        if all(any(assign[abs(l)] == (l > 0) for l in c) for c in clauses):
+        if all(any(assign[abs(lit)] == (lit > 0) for lit in c) for c in clauses):
             return True
     return False
 

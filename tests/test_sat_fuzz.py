@@ -12,8 +12,8 @@ def brute_force_sat(num_vars, clauses, extra_units=()):
     for bits in itertools.product([False, True], repeat=num_vars):
         ok = True
         for clause in all_clauses:
-            if not any((bits[abs(l) - 1] if l > 0 else not bits[abs(l) - 1])
-                       for l in clause):
+            if not any((bits[abs(lit) - 1] if lit > 0 else not bits[abs(lit) - 1])
+                       for lit in clause):
                 ok = False
                 break
         if ok:
@@ -56,8 +56,8 @@ def test_models_satisfy_all_clauses(instance):
     if s.solve().sat:
         model = [s.model_value(v) for v in range(1, nv + 1)]
         for c in clauses:
-            assert any((model[abs(l) - 1] if l > 0 else not model[abs(l) - 1])
-                       for l in c)
+            assert any((model[abs(lit) - 1] if lit > 0 else not model[abs(lit) - 1])
+                       for lit in c)
 
 
 @settings(max_examples=100, deadline=None)

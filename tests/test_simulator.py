@@ -1,6 +1,5 @@
 """Tests for the reference simulator's cycle semantics."""
 
-import pytest
 
 from repro.design import Design
 from repro.sim import Simulator
@@ -35,8 +34,8 @@ class TestLatches:
 
     def test_arbitrary_init_override(self):
         d = Design("t")
-        l = d.latch("l", 4, init=None)
-        l.next = l.expr
+        lit = d.latch("l", 4, init=None)
+        lit.next = lit.expr
         sim = Simulator(d, init_latches={"l": 9})
         assert sim.latches["l"] == 9
         sim2 = Simulator(d)
@@ -55,8 +54,8 @@ class TestMemories:
         wdata = d.input("wdata", 8)
         we = d.input("we", 1)
         raddr = d.input("raddr", 2)
-        l = d.latch("dummy", 1)
-        l.next = l.expr
+        lit = d.latch("dummy", 1)
+        lit.next = lit.expr
         mem = d.memory("mem", 2, 8, init=init)
         mem.write(0).connect(addr=waddr, data=wdata, en=we)
         rd = mem.read(0).connect(addr=raddr, en=1)
@@ -93,8 +92,8 @@ class TestMemories:
         d = Design("m")
         raddr = d.input("raddr", 2)
         en = d.input("en", 1)
-        l = d.latch("dummy", 1)
-        l.next = l.expr
+        lit = d.latch("dummy", 1)
+        lit.next = lit.expr
         mem = d.memory("mem", 2, 8, init=3)
         mem.write(0).connect(addr=0, data=0, en=0)
         rd = mem.read(0).connect(addr=raddr, en=en)
@@ -106,8 +105,8 @@ class TestMemories:
 
     def test_multi_write_port_priority(self):
         d = Design("m")
-        l = d.latch("dummy", 1)
-        l.next = l.expr
+        lit = d.latch("dummy", 1)
+        lit.next = lit.expr
         mem = d.memory("mem", 2, 8, write_ports=2)
         # Both ports write address 0 in the same cycle; port 1 must win.
         mem.write(0).connect(addr=0, data=0x11, en=1)
@@ -120,8 +119,8 @@ class TestMemories:
 
     def test_chained_read_ports(self):
         d = Design("m")
-        l = d.latch("dummy", 1)
-        l.next = l.expr
+        lit = d.latch("dummy", 1)
+        lit.next = lit.expr
         mem = d.memory("mem", 2, 2, read_ports=2)
         mem.write(0).connect(addr=0, data=0, en=0)
         rd0 = mem.read(0).connect(addr=1, en=1)

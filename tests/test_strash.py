@@ -1,0 +1,477 @@
+"""Structural hashing (repro.aig strash layer): cross-checks + accounting.
+
+Mirrors ``tests/test_addr_cache.py`` one layer down: hash-consing in
+:meth:`repro.aig.aig.Aig.and_gate` and the CNF-level gate-triple cache in
+:class:`repro.aig.tseitin.CnfEmitter` must be invisible to every
+observable verification outcome.  Randomized recurring-address designs
+are run through full BMC (induction + PBA) with ``strash`` on and off,
+and statuses, depths, trace validity and the PBA latch/memory reason
+sets must coincide while the strashed encoding stays strictly smaller.
+Separate tests pin exact gate counts for a small ``eq_word`` cone, the
+first-emitter-wins provenance rule for shared clause triples, and the
+comparator-aware exclusivity-chain pruning of the hybrid EMM encoder.
+"""
+
+import random
+
+import pytest
+
+from repro.aig import Aig, CnfEmitter, FALSE, TRUE, evaluate
+from repro.aig import ops
+from repro.aig.eval import evaluate_word
+from repro.bmc import bmc3, verify
+from repro.bmc.unroller import Unroller
+from repro.design import Design
+from repro.emm import EmmMemory
+from repro.emm.gates import GateEmmMemory
+from repro.sat import Solver
+
+
+# ---------------------------------------------------------------------------
+# Aig.and_gate: folding, hashing, counters, and the unstrashed baseline.
+# ---------------------------------------------------------------------------
+
+
+class TestAndGateStrash:
+    def test_folds_are_counted(self):
+        g = Aig()
+        a = g.new_input("a")
+        assert g.and_gate(a, FALSE) == FALSE
+        assert g.and_gate(a, TRUE) == a
+        assert g.and_gate(a, a) == a
+        assert g.and_gate(a, a ^ 1) == FALSE
+        assert g.strash_folds == 4
+        assert g.strash_hits == 0
+        assert g.num_ands == 0
+
+    def test_hash_hits_are_counted(self):
+        g = Aig()
+        a, b = g.new_input(), g.new_input()
+        n1 = g.and_gate(a, b)
+        n2 = g.and_gate(b, a)
+        assert n1 == n2
+        assert g.num_ands == 1
+        assert g.strash_hits == 1
+
+    def test_strash_off_mints_fresh_nodes(self):
+        g = Aig(strash=False)
+        a, b = g.new_input(), g.new_input()
+        n1 = g.and_gate(a, b)
+        n2 = g.and_gate(a, b)
+        n3 = g.and_gate(a, TRUE)
+        assert len({n1, n2, n3}) == 3
+        assert g.num_ands == 3
+        assert g.strash_hits == 0
+        assert g.strash_folds == 0
+        # The duplicate nodes still compute the same function.
+        for va in (False, True):
+            for vb in (False, True):
+                r = evaluate(g, {a: va, b: vb}, [n1, n2, n3])
+                assert r == [va and vb, va and vb, va]
+
+    def test_strash_property(self):
+        assert Aig().strash is True
+        assert Aig(strash=False).strash is False
+
+    def test_modes_agree_on_word_ops(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            va, vb = rng.randrange(256), rng.randrange(256)
+            outs = {}
+            for strash in (True, False):
+                g = Aig(strash=strash)
+                a = ops.input_word(g, "a", 8)
+                b = ops.input_word(g, "b", 8)
+                env = {bit: bool((va >> i) & 1) for i, bit in enumerate(a)}
+                env.update({bit: bool((vb >> i) & 1) for i, bit in enumerate(b)})
+                outs[strash] = (
+                    evaluate(g, env, [ops.eq_word(g, a, b)]),
+                    evaluate_word(g, env, ops.add_word(g, a, b)),
+                    evaluate_word(g, env, ops.mux_word(g, a[0], a, b)),
+                )
+            assert outs[True] == outs[False]
+            assert outs[True][0] == [va == vb]
+            assert outs[True][1] == (va + vb) & 0xFF
+
+
+class TestEqWordExactCounts:
+    """Regression: exact gate counts for a width-3 ``eq_word`` cone."""
+
+    WIDTH = 3
+    #: 3 AND nodes per per-bit IFF, plus 2 chain nodes (the TRUE seed of
+    #: ``and_many`` folds into the first conjunct).
+    STRASHED = 3 * WIDTH + 2
+    #: Without folding the chain seed costs a real node: 3 per bit + 3.
+    UNSTRASHED = 3 * WIDTH + 3
+
+    def test_strash_on_builds_once(self):
+        g = Aig()
+        a = ops.input_word(g, "a", self.WIDTH)
+        b = ops.input_word(g, "b", self.WIDTH)
+        e1 = ops.eq_word(g, a, b)
+        assert g.num_ands == self.STRASHED
+        assert g.strash_folds == 1  # the and_many TRUE seed
+        e2 = ops.eq_word(g, a, b)
+        assert e1 == e2
+        assert g.num_ands == self.STRASHED
+        assert g.strash_hits == self.STRASHED
+
+    def test_strash_off_rebuilds(self):
+        g = Aig(strash=False)
+        a = ops.input_word(g, "a", self.WIDTH)
+        b = ops.input_word(g, "b", self.WIDTH)
+        e1 = ops.eq_word(g, a, b)
+        assert g.num_ands == self.UNSTRASHED
+        e2 = ops.eq_word(g, a, b)
+        assert e1 != e2
+        assert g.num_ands == 2 * self.UNSTRASHED
+
+
+# ---------------------------------------------------------------------------
+# CnfEmitter: gate-triple cache and first-emitter-wins provenance.
+# ---------------------------------------------------------------------------
+
+
+def emitter_pair(aig_strash, cnf_strash):
+    solver = Solver(proof=True)
+    aig = Aig(strash=aig_strash)
+    em = CnfEmitter(aig, solver, strash=cnf_strash)
+    return solver, aig, em
+
+
+class TestCnfGateCache:
+    def test_triple_cache_reuses_vars(self):
+        # AIG strash off so the two cones are distinct nodes; the CNF
+        # cache must still collapse them onto one variable set.
+        solver, aig, em = emitter_pair(False, True)
+        a = ops.input_word(aig, "a", 3)
+        b = ops.input_word(aig, "b", 3)
+        v1 = em.sat_lit(ops.eq_word(aig, a, b))
+        vars_after_first = solver.num_vars
+        clauses_after_first = solver.num_clauses
+        v2 = em.sat_lit(ops.eq_word(aig, a, b))
+        assert v1 == v2
+        assert solver.num_vars == vars_after_first
+        assert solver.num_clauses == clauses_after_first
+        assert em.strash_hits > 0
+
+    def test_no_cache_reemits(self):
+        solver, aig, em = emitter_pair(False, False)
+        a = ops.input_word(aig, "a", 3)
+        b = ops.input_word(aig, "b", 3)
+        v1 = em.sat_lit(ops.eq_word(aig, a, b))
+        gates_first = em.gates_emitted
+        v2 = em.sat_lit(ops.eq_word(aig, a, b))
+        assert v1 != v2
+        assert em.gates_emitted == 2 * gates_first
+        assert em.strash_hits == 0
+        # Both emissions are equisatisfiable copies: they cannot disagree.
+        assert solver.solve([v1, -v2]).sat is False
+        assert solver.solve([-v1, v2]).sat is False
+
+    def test_first_emitter_wins_labels(self):
+        """A shared triple keeps its first label; cores attribute it there.
+
+        Two provenance contexts lower structurally identical cones; the
+        second is answered from the gate cache and emits nothing, so an
+        unsat core that needs the gate semantics names the *first*
+        context — never the second.  That keeps PBA reason extraction
+        sound: the labels it reads always belong to clauses that exist.
+        """
+        solver, aig, em = emitter_pair(False, True)
+        x, y = aig.new_input("x"), aig.new_input("y")
+        em.set_label(("ctx", "A"))
+        out_a = em.sat_lit(aig.and_gate(x, y))
+        em.set_label(("ctx", "B"))
+        out_b = em.sat_lit(aig.and_gate(x, y))
+        assert out_a == out_b  # shared triple
+        em.add_clause([em.sat_lit(x)], ("unit", "x"))
+        em.add_clause([em.sat_lit(y)], ("unit", "y"))
+        em.add_clause([-out_a], ("unit", "out"))
+        assert solver.solve().sat is False
+        labels = solver.core_labels()
+        assert ("ctx", "A") in labels
+        assert ("ctx", "B") not in labels
+
+    def test_default_modes_unchanged_behaviour(self):
+        # With AIG strashing on, node identity already dedups repeated
+        # cones, so the CNF cache never fires on a plain run.
+        solver, aig, em = emitter_pair(True, True)
+        a = ops.input_word(aig, "a", 4)
+        b = ops.input_word(aig, "b", 4)
+        em.sat_lit(ops.eq_word(aig, a, b))
+        em.sat_lit(ops.eq_word(aig, a, b))
+        assert em.strash_hits == 0
+        assert aig.strash_hits > 0
+
+
+# ---------------------------------------------------------------------------
+# Randomized cross-check: strash on/off must verify identically.
+# ---------------------------------------------------------------------------
+
+
+def random_recurring_design(rng):
+    """A random single-memory design whose address cones recur.
+
+    Same shape as the dedup cross-check generator: addresses drawn from
+    a small pool (constants, a shared input, a walking latch) so both
+    the AIG strash table and the comparator cache actually fire.
+    """
+    aw = rng.choice([2, 3])
+    dw = rng.choice([2, 3])
+    w_ports = rng.choice([1, 2])
+    r_ports = rng.choice([2, 3])
+    init = rng.choice([0, None, 3])
+    d = Design("rand")
+    t = d.latch("t", aw, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", aw, dw, read_ports=r_ports, write_ports=w_ports, init=init)
+    shared = d.input("sa", aw)
+    addr_pool = [
+        lambda: d.const(rng.randrange(1 << aw), aw),
+        lambda: shared,
+        lambda: t.expr,
+    ]
+    for w in range(w_ports):
+        en = d.input(f"we{w}", 1)
+        if w_ports > 1:
+            addr = d.input(f"wa{w}", aw)
+            en = en & addr[0].eq(w & 1)
+        else:
+            addr = rng.choice(addr_pool)()
+        mem.write(w).connect(addr=addr, data=d.input(f"wd{w}", dw), en=en)
+    for r in range(r_ports):
+        mem.read(r).connect(addr=rng.choice(addr_pool)(), en=1)
+    target = rng.randrange(1 << dw)
+    d.reach("hit", mem.read(0).data.eq(target))
+    return d, "hit"
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_strash_is_invisible_to_gate_verification(seed):
+    """Gate encoding: verdicts, traces and PBA reasons match on/off."""
+    rng = random.Random(seed)
+    design, prop = random_recurring_design(rng)
+    results = {}
+    for strash in (True, False):
+        results[strash] = verify(
+            design,
+            prop,
+            bmc3(max_depth=4, emm_encoding="gates", strash=strash),
+        )
+    on, off = results[True], results[False]
+    assert on.status == off.status, (seed, on.status, off.status)
+    assert on.depth == off.depth
+    assert on.method == off.method
+    assert on.trace_validated == off.trace_validated
+    if on.trace is not None:
+        assert on.trace_validated is True
+    assert on.latch_reasons == off.latch_reasons
+    assert on.memory_reasons == off.memory_reasons
+    # The strashed encoding is strictly smaller on recurring workloads.
+    assert on.stats.sat_vars < off.stats.sat_vars
+    assert on.stats.sat_clauses < off.stats.sat_clauses
+    assert on.stats.strash_folds > 0
+    if on.depth >= 2:  # a depth-0 cex ends the run before cones recur
+        assert on.stats.strash_hits > 0
+    assert off.stats.strash_hits == 0
+    assert off.stats.strash_folds == 0
+
+
+@pytest.mark.parametrize("seed", [1, 4])
+def test_strash_is_invisible_to_hybrid_verification(seed):
+    """Hybrid encoding: same verdict parity; never larger with strash."""
+    rng = random.Random(seed)
+    design, prop = random_recurring_design(rng)
+    on = verify(design, prop, bmc3(max_depth=4, strash=True))
+    off = verify(design, prop, bmc3(max_depth=4, strash=False))
+    assert on.status == off.status
+    assert on.depth == off.depth
+    assert on.method == off.method
+    assert on.latch_reasons == off.latch_reasons
+    assert on.memory_reasons == off.memory_reasons
+    assert on.stats.sat_vars <= off.stats.sat_vars
+    assert on.stats.sat_clauses <= off.stats.sat_clauses
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: >= 40% smaller gate-EMM encoding at depth >= 20.
+# ---------------------------------------------------------------------------
+
+
+def recurring_bench_design(aw=4, dw=4):
+    """The recurring-address workload of the C2 strash benchmark."""
+    d = Design("recur")
+    t = d.latch("t", 2, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", aw, dw, read_ports=3, write_ports=1, init=None)
+    mem.write(0).connect(
+        addr=d.input("wa", aw), data=d.input("wd", dw), en=d.input("we", 1)
+    )
+    ra = d.input("ra", aw)
+    mem.read(0).connect(addr=d.const(1, aw), en=1)
+    mem.read(1).connect(addr=ra, en=1)
+    mem.read(2).connect(addr=ra, en=1)
+    d.invariant("p", mem.read(0).data.ule((1 << dw) - 1))
+    return d
+
+
+def build_gate_frames(design, depth, strash):
+    solver = Solver(proof=False)
+    emitter = CnfEmitter(Aig(strash=strash), solver, strash=strash)
+    unroller = Unroller(design, emitter)
+    emm = GateEmmMemory(solver, unroller, "m", init_consistency=False)
+    for k in range(depth + 1):
+        unroller.add_frame()
+        emm.add_frame(k)
+    return solver, emm
+
+
+def test_gate_emm_strash_cuts_40_percent_at_depth_20():
+    depth = 20
+    design = recurring_bench_design()
+    off_solver, off_emm = build_gate_frames(design, depth, strash=False)
+    on_solver, on_emm = build_gate_frames(design, depth, strash=True)
+    size_off = off_solver.num_clauses + off_solver.num_vars
+    size_on = on_solver.num_clauses + on_solver.num_vars
+    drop = 1.0 - size_on / size_off
+    assert drop >= 0.40, f"strash saved only {drop:.1%} ({size_off} -> {size_on})"
+    assert on_emm.counters.strash_hits > 0
+    assert on_emm.counters.strash_folds > 0
+    assert off_emm.counters.strash_hits == 0
+    # Per-frame snapshots sum to the totals.
+    assert (
+        sum(f["strash_hits"] for f in on_emm.counters.per_frame)
+        == on_emm.counters.strash_hits
+    )
+    assert (
+        sum(f["strash_folds"] for f in on_emm.counters.per_frame)
+        == on_emm.counters.strash_folds
+    )
+
+
+def deep_recurring_design(aw=3, dw=2):
+    """Recurring-address workload with an unreachable read-back target.
+
+    Write data can never set bit 1, so reading back 3 is impossible:
+    every falsification check is UNSAT and a ``find_proof=False`` run
+    walks the full depth with PBA collecting reasons at every step.
+    """
+    d = Design("recur20")
+    t = d.latch("t", 2, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", aw, dw, read_ports=3, write_ports=1, init=0)
+    wd = d.input("wd", dw)
+    mem.write(0).connect(addr=d.input("wa", aw), data=wd & 1, en=d.input("we", 1))
+    ra = d.input("ra", aw)
+    mem.read(0).connect(addr=d.const(1, aw), en=1)
+    mem.read(1).connect(addr=ra, en=1)
+    mem.read(2).connect(addr=ra, en=1)
+    d.reach("three", mem.read(1).data.eq(3))
+    return d
+
+
+def test_depth_20_verdict_and_pba_parity():
+    """Acceptance: at depth 20 the strashed gate encoding is >= 40%
+    smaller with identical verdicts and PBA reason sets."""
+    from repro.bmc import BmcOptions
+
+    results = {}
+    for strash in (True, False):
+        results[strash] = verify(
+            deep_recurring_design(),
+            "three",
+            BmcOptions(
+                find_proof=False,
+                pba=True,
+                max_depth=20,
+                emm_encoding="gates",
+                strash=strash,
+            ),
+        )
+    on, off = results[True], results[False]
+    assert on.status == off.status == "bounded"
+    assert on.depth == off.depth == 20
+    assert on.latch_reasons == off.latch_reasons
+    assert on.memory_reasons == off.memory_reasons
+    assert on.memory_reasons[-1] == frozenset({"m"})
+    size_on = on.stats.sat_vars + on.stats.sat_clauses
+    size_off = off.stats.sat_vars + off.stats.sat_clauses
+    drop = 1.0 - size_on / size_off
+    assert drop >= 0.40, f"only {drop:.1%} ({size_off} -> {size_on})"
+    assert on.stats.strash_hits > 0
+
+
+# ---------------------------------------------------------------------------
+# Comparator-aware exclusivity chains (hybrid encoder fold pruning).
+# ---------------------------------------------------------------------------
+
+
+def run_hybrid_frames(design, depth, **kw):
+    solver = Solver(proof=False)
+    emitter = CnfEmitter(Aig(), solver)
+    unroller = Unroller(design, emitter)
+    emm = EmmMemory(solver, unroller, "m", **kw)
+    for k in range(depth + 1):
+        unroller.add_frame()
+        emm.add_frame(k)
+    return emm
+
+
+def const_addr_design(read_addr, write_addr, aw=3, dw=2):
+    d = Design("constpair")
+    t = d.latch("t", 2, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", aw, dw, read_ports=1, write_ports=1, init=0)
+    mem.write(0).connect(
+        addr=d.const(write_addr, aw),
+        data=d.input("wd", dw),
+        en=d.input("we", 1),
+    )
+    mem.read(0).connect(addr=d.const(read_addr, aw), en=1)
+    d.reach("hit", mem.read(0).data.eq((1 << dw) - 1))
+    return d
+
+
+class TestExclusivityFoldPruning:
+    def test_false_fold_skips_all_three_gates(self):
+        """Read 1 vs write 2: every pair folds FALSE -> zero chain gates.
+
+        The unpruned encoding pays 3 gates per pair (s = E ∧ WE, the S
+        signal and the PS step), all driven by a constant-false E.
+        """
+        depth = 4
+        pairs = sum(k for k in range(depth + 1))
+        on = run_hybrid_frames(const_addr_design(1, 2), depth).counters
+        off = run_hybrid_frames(
+            const_addr_design(1, 2), depth, addr_dedup=False
+        ).counters
+        assert on.excl_gates == 0
+        assert off.excl_gates == 3 * pairs
+        assert on.addr_eq_folded == 1  # one distinct comparison, cached after
+        assert on.rd_clauses < off.rd_clauses  # dead pairs lose eq-(5) too
+
+    def test_true_fold_reuses_write_enable(self):
+        """Read 5 vs write 5: E is constant TRUE, so s == WE (one gate
+        saved per pair, the chain keeps its 2 gates)."""
+        depth = 4
+        pairs = sum(k for k in range(depth + 1))
+        on = run_hybrid_frames(const_addr_design(5, 5), depth).counters
+        assert on.excl_gates == 2 * pairs
+
+    @pytest.mark.parametrize("read_addr,write_addr", [(1, 2), (5, 5)])
+    def test_pruning_preserves_verdicts(self, read_addr, write_addr):
+        d = const_addr_design(read_addr, write_addr)
+        results = [
+            verify(d, "hit", bmc3(max_depth=4, emm_addr_dedup=dedup))
+            for dedup in (True, False)
+        ]
+        on, off = results
+        assert on.status == off.status
+        assert on.depth == off.depth
+        if on.trace is not None:
+            assert on.trace_validated is True
+        # Matching addresses make the target reachable; disjoint ones
+        # leave the read pinned to the (zero) initial contents.
+        expected = "cex" if read_addr == write_addr else "proof"
+        assert on.status == expected

@@ -5,7 +5,6 @@ import itertools
 import random
 
 from repro.aig import Aig, CnfEmitter, evaluate, parse_aag, write_aag
-from repro.aig import ops
 from repro.sat import Solver
 
 

@@ -17,7 +17,7 @@ def random_latch_design(rng, n_latches=3, n_inputs=2, width=4):
     inputs = [d.input(f"i{k}", width) for k in range(n_inputs)]
     latches = [d.latch(f"l{k}", width, init=rng.randrange(1 << width))
                for k in range(n_latches)]
-    pool = inputs + [l.expr for l in latches]
+    pool = inputs + [lt.expr for lt in latches]
 
     def rand_expr(depth=0):
         if depth > 2 or rng.random() < 0.3:

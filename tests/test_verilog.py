@@ -54,9 +54,9 @@ class TestStructure:
 
     def test_arbitrary_init_latch_unreset(self):
         d = Design("arb")
-        l = d.latch("l", 2, init=None)
-        l.next = l.expr
-        d.invariant("p", l.expr.ule(3))
+        lit = d.latch("l", 2, init=None)
+        lit.next = lit.expr
+        d.invariant("p", lit.expr.ule(3))
         text = export(d)
         reset_block = text.split("if (rst) begin")[1].split("end else")[0]
         assert "l <=" not in reset_block
@@ -78,9 +78,9 @@ class TestStructure:
     def test_single_bit_signals_have_no_range(self):
         d = Design("bit")
         b = d.input("b", 1)
-        l = d.latch("l", 1, init=0)
-        l.next = b
-        d.invariant("p", l.expr.eq(0) | l.expr.eq(1))
+        lit = d.latch("l", 1, init=0)
+        lit.next = b
+        d.invariant("p", lit.expr.eq(0) | lit.expr.eq(1))
         text = export(d)
         assert "input b;" in text
         assert "reg l;" in text
@@ -91,8 +91,8 @@ class TestOperators:
         d = Design("ops")
         a = d.input("a", 4)
         b = d.input("b", 4)
-        l = d.latch("l", 4, init=0)
-        l.next = (a + b) ^ (a - b) | (~a & b)
+        lit = d.latch("l", 4, init=0)
+        lit.next = (a + b) ^ (a - b) | (~a & b)
         d.invariant("cmp", a.ult(b) | a.eq(b) | b.ult(a))
         d.invariant("mux", a[0].ite(a, b).eq(a) | a[0].eq(0))
         d.invariant("cat", a[0:2].concat(b[2:4]).ule(15))
@@ -104,9 +104,9 @@ class TestOperators:
 
     def test_name_sanitisation(self):
         d = Design("bad name!")
-        l = d.latch("weird.sig", 1, init=0)
-        l.next = l.expr
-        d.invariant("p", l.expr.eq(0))
+        lit = d.latch("weird.sig", 1, init=0)
+        lit.next = lit.expr
+        d.invariant("p", lit.expr.eq(0))
         text = export(d)
         assert "module bad_name_ (" in text
         assert "reg weird_sig;" in text
