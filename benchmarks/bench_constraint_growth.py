@@ -10,6 +10,7 @@ import pytest
 
 from benchmarks import common
 from repro.aig import Aig, CnfEmitter
+from repro.bmc import BmcOptions, verify
 from repro.bmc.unroller import Unroller
 from repro.design import Design
 from repro.emm import EmmMemory, accounting
@@ -47,6 +48,27 @@ common.table(
     note="strash hash-conses AIG nodes and dedups Tseitin gate triples; "
          "'drop' is the SAT clauses+vars saving of the pure-gate EMM "
          "encoding vs the unstrashed baseline on recurring addresses",
+)
+
+common.table(
+    "C3 — cross-frame chain-suffix sharing (gate EMM totals)",
+    ["workload", "AW", "DW", "depth", "gates off", "gates on", "cls off",
+     "cls on", "gate drop", "suffix hits", "merged", "pruned"],
+    note="chain_share builds the priority chain oldest-write-first as a "
+         "mux chain, so recurring address cones make frame k's chain a "
+         "strash prefix of frame k+1's; eq-(6) pairs are pruned on "
+         "folded-FALSE comparators and fall-through reads merge on "
+         "fold-TRUE ('off' is the latest-first / all-pairs baseline)",
+)
+
+common.table(
+    "C4 — per-frame incremental growth (chain share A/B)",
+    ["workload", "AW", "DW", "frames", "new gates/frame on (first..last)",
+     "new gates/frame off (first..last)", "plateau"],
+    note="per-frame *new* AIG gates of the gate EMM encoding; with "
+         "chain_share on the constant-address workload plateaus to a "
+         "bounded constant after warmup while the latest-first baseline "
+         "grows linearly with depth",
 )
 
 
@@ -131,13 +153,20 @@ DEDUP_CONFIGS = [(4, 4, 20), (6, 8, 20), (8, 8, 24)]
 @pytest.mark.parametrize("aw,dw,depth", DEDUP_CONFIGS,
                          ids=[f"m{c[0]}n{c[1]}k{c[2]}" for c in DEDUP_CONFIGS])
 def bench_addr_dedup(benchmark, aw, dw, depth):
-    """Acceptance check: dedup cuts clauses+vars >= 25% at depth >= 20."""
+    """Acceptance check: dedup cuts clauses+vars >= 25% at depth >= 20.
+
+    ``chain_share`` is pinned off: this experiment isolates the PR-1
+    comparator cache/folding layer, whose fold-TRUE eq-(6) comparisons
+    would otherwise be intercepted upstream by record merging (measured
+    separately in C3/C4).
+    """
 
     def run_one(dedup):
         solver = Solver(proof=False)
         emitter = CnfEmitter(Aig(), solver)
         unroller = Unroller(build_recurring(aw, dw), emitter)
-        emm = EmmMemory(solver, unroller, "m", addr_dedup=dedup)
+        emm = EmmMemory(solver, unroller, "m", addr_dedup=dedup,
+                        chain_share=False)
         for k in range(depth + 1):
             unroller.add_frame()
             emm.add_frame(k)
@@ -202,6 +231,114 @@ def bench_gate_strash(benchmark, aw, dw, depth):
     common.add_row("C2 — structural hashing on the gate EMM encoding",
                    aw, dw, depth, size_off, size_on, f"{drop:.1%}",
                    c_on.strash_hits, c_on.strash_folds)
+
+
+def build_const_recurring(aw, dw):
+    """Constant-address variant of the recurring workload.
+
+    Both read ports are status-word patterns pinned to *distinct*
+    constant addresses and the memory's initial state is arbitrary: the
+    chain-suffix sharing, the fall-through record merging (fold-TRUE)
+    and the eq-(6) pair pruning (fold-FALSE between the two distinct
+    records) all fire at maximum strength.
+    """
+    d = Design("constrec")
+    t = d.latch("t", 2, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", aw, dw, read_ports=2, write_ports=1, init=None)
+    mem.write(0).connect(addr=d.input("wa", aw), data=d.input("wd", dw),
+                         en=d.input("we", 1))
+    mem.read(0).connect(addr=d.const(1, aw), en=1)
+    mem.read(1).connect(addr=d.const(2, aw), en=1)
+    d.invariant("p", mem.read(0).data.ule((1 << dw) - 1))
+    return d
+
+
+CHAIN_WORKLOADS = {"recurring": build_recurring,
+                   "const": build_const_recurring}
+
+CHAIN_CONFIGS = [("recurring", 4, 4, 24), ("const", 4, 4, 24),
+                 ("const", 6, 8, 24)]
+
+
+@pytest.mark.parametrize("workload,aw,dw,depth", CHAIN_CONFIGS,
+                         ids=[f"{c[0]}-m{c[1]}n{c[2]}k{c[3]}"
+                              for c in CHAIN_CONFIGS])
+def bench_chain_share(benchmark, workload, aw, dw, depth):
+    """Acceptance checks for the suffix-shared gate encoding (CI runs
+    this): total AIG gates never exceed the latest-first baseline at any
+    measured depth >= 8, the constant-address variant's per-frame new
+    gates plateau to a bounded constant after warmup (instead of the
+    baseline's linear growth) with ``init_pairs_pruned > 0``, and the
+    A/B verdicts agree at every depth.  The per-frame growth series is
+    attached to the benchmark JSON (``extra_info``), which the CI
+    bench-smoke job uploads as BENCH_ci.json."""
+
+    def run_one(chain_share):
+        solver = Solver(proof=False)
+        emitter = CnfEmitter(Aig(), solver)
+        unroller = Unroller(CHAIN_WORKLOADS[workload](aw, dw), emitter)
+        emm = GateEmmMemory(solver, unroller, "m", chain_share=chain_share)
+        for k in range(depth + 1):
+            unroller.add_frame()
+            emm.add_frame(k)
+        return solver, emm
+
+    def run():
+        return run_one(False), run_one(True)
+
+    (s_off, e_off), (s_on, e_on) = benchmark.pedantic(run, rounds=1,
+                                                      iterations=1)
+    gates_on = [f["gates"] for f in e_on.counters.per_frame]
+    gates_off = [f["gates"] for f in e_off.counters.per_frame]
+    cls_on = [f["clauses"] for f in e_on.counters.per_frame]
+    cls_off = [f["clauses"] for f in e_off.counters.per_frame]
+    benchmark.extra_info["per_frame_gates_on"] = gates_on
+    benchmark.extra_info["per_frame_gates_off"] = gates_off
+    benchmark.extra_info["per_frame_clauses_on"] = cls_on
+    benchmark.extra_info["per_frame_clauses_off"] = cls_off
+    # Totals: strictly below the baseline at *every* depth >= 8.
+    for d in range(8, depth + 1):
+        cum_on, cum_off = sum(gates_on[:d + 1]), sum(gates_off[:d + 1])
+        assert cum_on < cum_off, (
+            f"chain share grew the AIG at depth {d}: "
+            f"{cum_off} -> {cum_on} gates ({workload})")
+        assert sum(cls_on[:d + 1]) <= sum(cls_off[:d + 1])
+    assert e_on.counters.chain_suffix_hits > 0
+    assert e_off.counters.chain_suffix_hits == 0
+    plateau = "-"
+    if workload == "const":
+        # Bounded-constant per-frame growth after warmup vs linear off.
+        tail = gates_on[3:]
+        assert max(tail) == min(tail), (
+            f"per-frame gates did not plateau: {gates_on}")
+        plateau = str(tail[0])
+        assert all(b > a for a, b in zip(gates_off[3:], gates_off[4:])), (
+            f"baseline should grow linearly: {gates_off}")
+        assert e_on.counters.init_pairs_pruned > 0
+        assert e_on.counters.init_records_merged > 0
+    # A/B verdict parity at every depth on the full engine.
+    design = CHAIN_WORKLOADS[workload](aw, dw)
+    results = {share: verify(design, "p",
+                             BmcOptions(find_proof=False, max_depth=8,
+                                        emm_encoding="gates",
+                                        emm_chain_share=share))
+               for share in (True, False)}
+    assert results[True].status == results[False].status == "bounded"
+    assert results[True].depth == results[False].depth == 8
+    gate_drop = 1.0 - sum(gates_on) / sum(gates_off)
+    common.add_row("C3 — cross-frame chain-suffix sharing (gate EMM totals)",
+                   workload, aw, dw, depth, sum(gates_off), sum(gates_on),
+                   sum(cls_off), sum(cls_on), f"{gate_drop:.1%}",
+                   e_on.counters.chain_suffix_hits,
+                   e_on.counters.init_records_merged,
+                   e_on.counters.init_pairs_pruned)
+    def fmt(series):
+        return f"{series[0]},{series[1]},{series[2]}..{series[-1]}"
+
+    common.add_row("C4 — per-frame incremental growth (chain share A/B)",
+                   workload, aw, dw, depth + 1, fmt(gates_on), fmt(gates_off),
+                   plateau)
 
 
 def bench_hybrid_vs_pure_gate(benchmark):

@@ -61,6 +61,14 @@ class BmcOptions:
     #: (:class:`repro.aig.tseitin.CnfEmitter`).  False builds every cone
     #: fresh — the unstrashed baseline for A/B size comparisons.
     strash: bool = True
+    #: Cross-frame chain-suffix sharing and incremental equation (6):
+    #: the gate EMM encoding builds its priority chain oldest-write-first
+    #: as a mux chain (recurring address cones make frame k's chain a
+    #: strash prefix of frame k+1's), and both encodings prune eq-(6)
+    #: pairs whose comparator folds FALSE and merge fall-through records
+    #: whose comparator folds TRUE.  False is the PR-2 latest-first /
+    #: all-pairs baseline for A/B comparisons.
+    emm_chain_share: bool = True
     #: Latch-based abstraction: latches to keep (None = all).
     kept_latches: Optional[frozenset[str]] = None
     #: Memory abstraction: memories to keep EMM constraints for (None = all).
@@ -151,7 +159,8 @@ class BmcEngine:
                             a_meminit=self.a_meminit,
                             kept_read_ports=port_map.get(name),
                             init_registry=registries.get(name),
-                            addr_dedup=self.options.emm_addr_dedup)
+                            addr_dedup=self.options.emm_addr_dedup,
+                            chain_share=self.options.emm_chain_share)
             for name in sorted(kept_mems)
         }
         self.lfp = (LoopFreeConstraints(self.unroller, self.a_lfp)
@@ -162,11 +171,13 @@ class BmcEngine:
         self._mr: list[frozenset[str]] = []
 
     def _shared_init_registries(self, kept_mems: frozenset[str]) -> dict:
-        """One shared fall-through record list per shared-init group."""
-        registries: dict[str, list] = {}
+        """One shared fall-through read registry per shared-init group."""
+        from repro.emm.forwarding import InitReadRegistry
+
+        registries: dict[str, InitReadRegistry] = {}
         for group in self.options.shared_init_memories:
             widths = set()
-            shared: list = []
+            shared = InitReadRegistry()
             for name in sorted(group):
                 mem = self.design.memories.get(name)
                 if mem is None:
@@ -297,6 +308,12 @@ class BmcEngine:
                                            for e in self.emms.values())
         stats.emm_addr_eq_folded = sum(e.counters.addr_eq_folded
                                        for e in self.emms.values())
+        stats.emm_chain_suffix_hits = sum(e.counters.chain_suffix_hits
+                                          for e in self.emms.values())
+        stats.emm_init_pairs_pruned = sum(e.counters.init_pairs_pruned
+                                          for e in self.emms.values())
+        stats.emm_init_records_merged = sum(e.counters.init_records_merged
+                                            for e in self.emms.values())
         stats.strash_hits = self.aig.strash_hits + self.emitter.strash_hits
         stats.strash_folds = self.aig.strash_folds
         stats.aig_nodes = self.aig.num_ands

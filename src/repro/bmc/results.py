@@ -34,6 +34,14 @@ class BmcRunStats:
     #: :mod:`repro.emm.addrcmp`).
     emm_addr_eq_cache_hits: int = 0
     emm_addr_eq_folded: int = 0
+    #: Cross-frame chain-suffix sharing (``BmcOptions.emm_chain_share``):
+    #: gate-EMM mux-chain stages answered entirely by the strash layer,
+    #: equation-(6) pairs pruned on a folded-FALSE comparator, and
+    #: fall-through reads merged into an existing record on fold-TRUE
+    #: (summed over memories).  All zero with ``emm_chain_share=False``.
+    emm_chain_suffix_hits: int = 0
+    emm_init_pairs_pruned: int = 0
+    emm_init_records_merged: int = 0
     #: Structural-hashing savings of the whole run: AND requests answered
     #: from the AIG hash table plus gate triples reused by the Tseitin
     #: emitter's CNF-level cache, and AND requests folded to constants

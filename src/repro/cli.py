@@ -143,6 +143,7 @@ def cmd_verify(args) -> int:
                              init_consistency=not args.no_init_consistency,
                              emm_addr_dedup=not args.no_addr_dedup,
                              strash=not args.no_strash,
+                             emm_chain_share=not args.no_chain_share,
                              timeout_s=args.timeout)
     props = [args.property] if args.property else sorted(design.properties)
     status = 0
@@ -272,6 +273,10 @@ def main(argv=None) -> int:
     p_verify.add_argument("--no-strash", action="store_true",
                           help="disable AIG/CNF structural hashing "
                                "(unstrashed baseline encoding)")
+    p_verify.add_argument("--no-chain-share", action="store_true",
+                          help="disable cross-frame chain-suffix sharing "
+                               "and incremental equation-(6) pruning "
+                               "(latest-first / all-pairs baseline)")
     p_verify.add_argument("--no-init-consistency", action="store_true",
                           help="ablation: drop equation (6) constraints")
     p_verify.add_argument("--show-trace", action="store_true")

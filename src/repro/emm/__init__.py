@@ -25,9 +25,9 @@ was saved (``addr_eq_cache_hits`` / ``addr_eq_folded``).
 """
 
 from repro.emm.addrcmp import AddrComparator
-from repro.emm.forwarding import EmmMemory, EmmCounters
+from repro.emm.forwarding import EmmMemory, EmmCounters, InitReadRegistry
 from repro.emm.races import RaceResult, find_data_race
 from repro.emm import accounting
 
-__all__ = ["AddrComparator", "EmmMemory", "EmmCounters", "RaceResult",
-           "find_data_race", "accounting"]
+__all__ = ["AddrComparator", "EmmMemory", "EmmCounters", "InitReadRegistry",
+           "RaceResult", "find_data_race", "accounting"]

@@ -102,3 +102,49 @@ def init_consistency_pairs_all(k: int, r_ports: int) -> int:
     """All-pairs count over the ``kR`` fresh reads (what we implement)."""
     total = k * r_ports
     return total * (total - 1) // 2
+
+
+# -- chain-share closed forms (reproduction extension, not in the paper) --
+#
+# ``BmcOptions.emm_chain_share`` (on by default) changes two growth
+# terms.  The gate EMM encoding's priority chain becomes an
+# oldest-write-first mux chain whose per-pair cost is bounded by
+# :func:`mux_chain_gates_per_read_port`; on recurring address cones the
+# strash layer answers whole repeated stages from its table
+# (``EmmCounters.chain_suffix_hits``), so the *new* gates per frame drop
+# from the linear-in-k rebuild to the bounded constant of
+# :func:`suffix_shared_frame_gates`.  The equation-(6) pass prunes pairs
+# whose comparator folds FALSE (``EmmCounters.init_pairs_pruned``) and
+# merges fall-through reads whose comparator folds TRUE
+# (``init_records_merged``): a fully recurring read port contributes one
+# record total instead of one per frame, collapsing its share of the
+# quadratic all-pairs set to the linear number of guard clauses.
+
+
+def mux_chain_gates_per_read_port(k: int, w_ports: int,
+                                  data_width: int) -> int:
+    """Upper bound on oldest-first chain gates at depth k, one read port.
+
+    Per live (frame, write-port) pair: the ``S = E ∧ WE`` gate, one
+    no-match accumulation step and a ``3n``-gate data mux; plus the
+    final read-enable fall-through AND and the per-bit output gating.
+    Comparator cones are excluded (shared, counted like the hybrid's
+    ``4m+1`` closed form); strash folding makes this an upper bound.
+    """
+    n = data_width
+    return (3 * n + 2) * k * w_ports + n + 1
+
+
+def suffix_shared_frame_gates(addr_width: int, data_width: int,
+                              w_ports: int = 1) -> int:
+    """Upper bound on *new* chain gates per frame under full sharing.
+
+    For a read whose address cone and initial word are stable across
+    frames, everything but the newest write's stage is a strash hit:
+    one fresh comparator cone (≤ ``4m`` nodes), the ``S`` and no-match
+    gates and one ``3n``-gate mux stage per write port, plus the
+    re-gated output and forced-equality cones (≤ ``4n``).  Constant in
+    the depth — the plateau the C4 bench asserts.
+    """
+    m, n = addr_width, data_width
+    return (4 * m + 3 * n + 2) * w_ports + 4 * n

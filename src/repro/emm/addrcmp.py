@@ -145,6 +145,18 @@ class AddrComparator:
         """Number of distinct comparators currently cached."""
         return len(self._table)
 
+    def const_value(self, e_lit: int) -> Optional[bool]:
+        """Fold result of a literal returned by :meth:`eq` / :meth:`eq_const`.
+
+        ``True``/``False`` when the comparison folded to a constant (the
+        literal is the emitter's always-true variable, possibly negated),
+        ``None`` for a symbolic comparator.  This is the public face of
+        the fold layer: consumers that want to *act* on folds — the
+        exclusivity-chain pruning, the equation-(6) pair pruning — ask
+        the comparator instead of reaching into the emitter.
+        """
+        return self.emitter.const_value(e_lit)
+
     # -- encoding -------------------------------------------------------
 
     def _const_value(self, lit: int) -> Optional[bool]:

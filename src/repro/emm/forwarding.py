@@ -84,37 +84,163 @@ class EmmCounters:
     #: collapsed by constant/idempotence/complement rules.
     strash_hits: int = 0
     strash_folds: int = 0
+    #: Equation-(6) pairs skipped because their address comparator folded
+    #: to constant FALSE — their 2n data clauses were never built (with
+    #: ``chain_share`` off they are built and absorbed by the solver).
+    init_pairs_pruned: int = 0
+    #: Fall-through reads merged into an existing record because their
+    #: address cone is structurally identical (the comparator would fold
+    #: TRUE): the read reuses the record's symbolic word instead of
+    #: minting fresh variables, pins and quadratic consistency pairs.
+    init_records_merged: int = 0
+    #: One-directional guard clauses ``n_read -> G_record`` that keep
+    #: merged records covered by every already-emitted eq-(6) pair.
+    init_guard_clauses: int = 0
+    #: Gate-encoding mux-chain stages answered entirely by the strash
+    #: layer (zero new gates).  On recurring address cones this is frame
+    #: k's chain re-appearing as a prefix of frame k+1's; within-frame
+    #: reuse — read ports sharing one address cone — counts too.
+    chain_suffix_hits: int = 0
     per_frame: list[dict] = field(default_factory=list)
+
+    #: The clause counters summed by :attr:`total_clauses` and the
+    #: per-frame ``"clauses"`` aggregate — one list so the two can never
+    #: desynchronize.  Race-monitor counters are deliberately excluded:
+    #: the monitor is an extension outside the Section 3/4 closed forms.
+    CLAUSE_COUNTERS = ("addr_eq_clauses", "rd_clauses", "valid_clauses",
+                       "init_rd_clauses", "init_pin_clauses",
+                       "init_rom_clauses", "init_addr_eq_clauses",
+                       "init_consistency_clauses", "init_guard_clauses")
 
     @property
     def total_clauses(self) -> int:
-        """Forwarding/init clauses comparable to the paper's formulas.
-
-        Deliberately excludes the race-monitor counters: the monitor is
-        an extension outside the Section 3/4 closed forms.
-        """
-        return (self.addr_eq_clauses + self.rd_clauses + self.valid_clauses
-                + self.init_rd_clauses + self.init_pin_clauses
-                + self.init_rom_clauses + self.init_addr_eq_clauses
-                + self.init_consistency_clauses)
+        """Forwarding/init clauses comparable to the paper's formulas."""
+        return sum(getattr(self, key) for key in self.CLAUSE_COUNTERS)
 
     @property
     def total_gates(self) -> int:
         return self.excl_gates
 
+    def snapshot_ints(self) -> dict:
+        """Current values of every integer counter (per-frame baseline)."""
+        return {key: val for key, val in vars(self).items()
+                if isinstance(val, int)}
+
+    def frame_delta(self, before: dict) -> dict:
+        """Per-frame counter growth since ``before`` (:meth:`snapshot_ints`).
+
+        Both EMM encoders append this to :attr:`per_frame`, so per-frame
+        growth is directly comparable across encodings: besides the raw
+        counter diffs it carries the ``"gates"`` / ``"clauses"``
+        aggregates (paper-formula gate and clause totals added by the
+        frame, race monitor excluded).
+        """
+        frame = {key: getattr(self, key) - before[key] for key in before}
+        frame["gates"] = frame["excl_gates"]
+        frame["clauses"] = sum(frame[key] for key in self.CLAUSE_COUNTERS)
+        return frame
+
 
 class _ReadRecord:
-    """Bookkeeping for one read access (needed by equation (6) pairs)."""
+    """Bookkeeping for one fall-through read (equation (6) pairs).
 
-    __slots__ = ("frame", "port", "addr", "n_lit", "v_vars")
+    ``guard_lit`` is the literal equation-(6) pairs test for "this record
+    fell through".  Without record merging it is simply ``n_lit``.  With
+    merging (``chain_share``) it is a dedicated indicator variable ``G``
+    constrained one-directionally — ``n_read -> G`` for the founding read
+    and every read merged in later — so pairs emitted *before* a merge
+    still cover reads merged *after* them.  One-directional is enough:
+    ``G`` spuriously true only tightens toward the exact memory
+    semantics (the shared word really is the initial content at the
+    shared address), and the solver may always pick ``G`` minimal, so
+    satisfiability over design signals is unchanged.
+
+    ``v_aig`` is the symbolic word's AIG input literals (gate encoding
+    only): merged reads seed their mux chains from it, which is what
+    keeps the chain a stable strash prefix across frames.
+    """
+
+    __slots__ = ("frame", "port", "addr", "n_lit", "v_vars", "guard_lit",
+                 "v_aig")
 
     def __init__(self, frame: int, port: int, addr: list[int],
-                 n_lit: int, v_vars: list[int]) -> None:
+                 n_lit: int, v_vars: list[int],
+                 guard_lit: Optional[int] = None,
+                 v_aig: Optional[list[int]] = None) -> None:
         self.frame = frame
         self.port = port
         self.addr = addr
         self.n_lit = n_lit
         self.v_vars = v_vars
+        self.guard_lit = n_lit if guard_lit is None else guard_lit
+        self.v_aig = v_aig
+
+
+class InitReadRegistry:
+    """Fall-through read records plus the record-merging index.
+
+    One registry per memory by default; memories in a shared-initial-state
+    group share a single registry (the miter case), so equation (6) — and
+    record merging — relate reads of different memory copies.  The merge
+    index is keyed on the tuple of address SAT literals: two address
+    cones whose comparator would fold TRUE lower to *identical* literal
+    tuples (constants all map to the emitter's single const variable), so
+    key equality is exactly the fold-TRUE condition.
+
+    The key also carries the reading memory's declared-init signature
+    (``sig``): shared-init grouping only requires ``init is None``, so
+    two grouped memories may declare *different* ``init_words``
+    overrides.  A merged read inherits the founding record's a_meminit
+    pins, which is only sound when the declared inits agree — records
+    founded under a different signature are never merge targets (the
+    reads still relate through ordinary equation-(6) pairs, exactly the
+    unmerged baseline).
+    """
+
+    __slots__ = ("records", "_by_addr")
+
+    def __init__(self) -> None:
+        self.records: list[_ReadRecord] = []
+        self._by_addr: dict[tuple, _ReadRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def find_mergeable(self, addr: list[int], sig=None) -> Optional[_ReadRecord]:
+        return self._by_addr.get((sig, tuple(addr)))
+
+    def add(self, record: _ReadRecord, index: bool, sig=None) -> None:
+        """Append a record; ``index=True`` registers it as a merge target."""
+        self.records.append(record)
+        if index:
+            self._by_addr.setdefault((sig, tuple(record.addr)), record)
+
+
+def emit_init_consistency(new: _ReadRecord, records: list[_ReadRecord],
+                          addr_eq, const_value, emit, c: EmmCounters,
+                          chain_share: bool) -> None:
+    """Equation (6) between ``new`` and every existing record.
+
+    The single implementation behind both encoders'
+    ``_add_init_consistency`` / ``_consistency`` — the comparator
+    constructor (``addr_eq``) and clause sink (``emit``) differ per
+    encoder, the pair semantics must not.  With ``chain_share``, a pair
+    whose comparator folds to constant FALSE is pruned outright: its
+    ``2n`` data clauses are never built (without pruning they are built
+    only for the solver to absorb them at level 0, so pruning is
+    invisible to solving).  The fold-TRUE case never reaches this loop
+    when merging is on — the read was merged before a record existed.
+    """
+    for old in records:
+        eq = addr_eq(new.addr, old.addr)
+        if chain_share and const_value(eq) is False:
+            c.init_pairs_pruned += 1
+            continue
+        guard = [-eq, -new.guard_lit, -old.guard_lit]
+        for vb_new, vb_old in zip(new.v_vars, old.v_vars):
+            emit(guard + [-vb_new, vb_old])
+            emit(guard + [vb_new, -vb_old])
+        c.init_pairs += 1
 
 
 class EmmMemory:
@@ -136,6 +262,19 @@ class EmmMemory:
         :class:`~repro.emm.addrcmp.AddrComparator`; when False every
         comparison emits the paper's fresh ``4m+1``-clause block (the
         baseline for the dedup cross-checks and the exact-count tests).
+    chain_share:
+        When True (default) the equation-(6) pass is incremental: pairs
+        whose address comparator folds to constant FALSE skip their
+        ``2n`` data clauses entirely, and fall-through reads whose
+        address cone is structurally identical to an existing record's
+        (the fold-TRUE case) are *merged* into it — reusing its symbolic
+        word and guard instead of minting fresh variables, pins and a
+        quadratic number of new pairs.  In the gate encoding the same
+        option additionally selects the oldest-write-first mux chain
+        (see :class:`repro.emm.gates.GateEmmMemory`); the hybrid chain
+        itself is direct CNF and keeps the paper's equation-(4) order
+        either way.  False reproduces the PR-2 behaviour exactly (the
+        A/B baseline for the chain-share cross-checks).
     """
 
     def __init__(self, solver: Solver, unroller: Unroller, mem_name: str,
@@ -144,8 +283,9 @@ class EmmMemory:
                  a_meminit: Optional[int] = None,
                  kept_read_ports: Optional[frozenset[int]] = None,
                  check_races: bool = False,
-                 init_registry: Optional[list] = None,
-                 addr_dedup: bool = True) -> None:
+                 init_registry: Optional[InitReadRegistry] = None,
+                 addr_dedup: bool = True,
+                 chain_share: bool = True) -> None:
         self.solver = solver
         self.unroller = unroller
         self.emitter = unroller.emitter
@@ -187,12 +327,24 @@ class EmmMemory:
                                        hit_counter="race_addr_eq_cache_hits",
                                        fold_counter="race_addr_eq_folded")
         self._writes: list[list[PortSignals]] = []  # [frame][write_port]
-        #: Fall-through read records; a list *shared across memories* when
-        #: this memory is in a shared-initial-state group (the miter case:
-        #: equation (6) then relates reads of different memory copies).
-        self._reads: list[_ReadRecord] = (init_registry
-                                          if init_registry is not None
-                                          else [])
+        #: Fall-through read registry; *shared across memories* when this
+        #: memory is in a shared-initial-state group (the miter case:
+        #: equation (6) — and record merging — then relate reads of
+        #: different memory copies).
+        self._reads: InitReadRegistry = (init_registry
+                                         if init_registry is not None
+                                         else InitReadRegistry())
+        self.chain_share = chain_share
+        #: Record merging needs the eq-(6) machinery to be on: with the
+        #: init-consistency ablation active, sharing a symbolic word
+        #: would silently re-introduce (part of) the constraints the
+        #: ablation is meant to drop.
+        self._merge_init = chain_share and init_consistency
+        #: Declared-init signature scoping the merge index (see
+        #: :class:`InitReadRegistry`): merging across memories is only
+        #: sound when their a_meminit pins agree.
+        self._init_sig = (self.mem.init,
+                          tuple(sorted(self.mem.init_words.items())))
         self._frames = 0
 
     # -- the paper's EMM_Constraints(k) -----------------------------------
@@ -203,7 +355,7 @@ class EmmMemory:
             raise ValueError(f"frames must be added in order (expected {self._frames})")
         self._frames += 1
         un = self.unroller
-        before = dict(vars(self.counters))
+        before = self.counters.snapshot_ints()
         writes = [un.write_port_signals(self.name, w, k)
                   for w in range(self.mem.num_write_ports)]
         self._writes.append(writes)
@@ -214,11 +366,7 @@ class EmmMemory:
                 continue  # abstracted port: RD left unconstrained
             read = un.read_port_signals(self.name, r, k)
             self._constrain_read(k, r, read)
-        frame_counts = {
-            key: vars(self.counters)[key] - before[key]
-            for key in before if isinstance(before[key], int)
-        }
-        self.counters.per_frame.append(frame_counts)
+        self.counters.per_frame.append(self.counters.frame_delta(before))
 
     def _constrain_read(self, k: int, r: int, read: PortSignals) -> None:
         mem = self.mem
@@ -311,23 +459,48 @@ class EmmMemory:
             self._pin_word(read.data, n_lit, read.addr, label_init, c,
                            "init_rd_clauses")
         else:
-            # Section 4.2: a fresh symbolic word per fall-through read.
-            v_vars = [self._new_var() for _ in range(n_bits)]
+            # Section 4.2: a symbolic word per fall-through read.  With
+            # chain_share, a read whose address cone structurally repeats
+            # an existing record's (the comparator would fold TRUE) is
+            # merged into it: same word, no new pins, no new pairs — only
+            # the 2n read-data clauses and one guard clause.
+            merged = (self._reads.find_mergeable(read.addr, self._init_sig)
+                      if self._merge_init else None)
+            if merged is not None:
+                v_vars = merged.v_vars
+            else:
+                v_vars = [self._new_var() for _ in range(n_bits)]
             for b in range(n_bits):
                 self._clause([-n_lit, -read.data[b], v_vars[b]],
                              label_init, c, "init_rd_clauses")
                 self._clause([-n_lit, read.data[b], -v_vars[b]],
                              label_init, c, "init_rd_clauses")
+            if merged is not None:
+                # Identical address cone *and* declared-init signature
+                # (both are merge-key components): the record's pins
+                # already say everything a_meminit would; pairs against
+                # every other record stay valid through its guard.
+                self._clause([-n_lit, merged.guard_lit], label_init, c,
+                             "init_guard_clauses")
+                c.init_records_merged += 1
+                return
             if mem.init is not None or mem.init_words:
                 # Pin the symbols to the declared init under a_meminit, so
                 # falsification / forward checks see the real initial
                 # memory while backward induction sees an arbitrary one.
                 self._pin_word(v_vars, self.a_meminit, read.addr, label_init,
                                c, "init_pin_clauses")
-            record = _ReadRecord(k, r, list(read.addr), n_lit, v_vars)
+            guard = None
+            if self._merge_init:
+                guard = self._new_var()
+                self._clause([-n_lit, guard], label_init, c,
+                             "init_guard_clauses")
+            record = _ReadRecord(k, r, list(read.addr), n_lit, v_vars,
+                                 guard_lit=guard)
             if self.init_consistency:
                 self._add_init_consistency(record, c)
-            self._reads.append(record)
+            self._reads.add(record, index=self._merge_init,
+                            sig=self._init_sig)
 
     def _pin_word(self, word: list[int], guard: int, addr: list[int],
                   label, c: EmmCounters, counter: str) -> None:
@@ -363,15 +536,14 @@ class EmmMemory:
     def _add_init_consistency(self, new: _ReadRecord, c: EmmCounters) -> None:
         """Equation (6): equal fresh-read addresses give equal symbols."""
         label = ("emm", self.name, "init_consistency")
-        for old in self._reads:
-            eq = self._addr_eq(new.addr, old.addr, label, c, "init_addr_eq_clauses")
-            guard = [-eq, -new.n_lit, -old.n_lit]
-            for vb_new, vb_old in zip(new.v_vars, old.v_vars):
-                self._clause(guard + [-vb_new, vb_old], label, c,
-                             "init_consistency_clauses")
-                self._clause(guard + [vb_new, -vb_old], label, c,
-                             "init_consistency_clauses")
-            c.init_pairs += 1
+        emit_init_consistency(
+            new, self._reads.records,
+            addr_eq=lambda a, b: self._addr_eq(a, b, label, c,
+                                               "init_addr_eq_clauses"),
+            const_value=self.addr_cmp.const_value,
+            emit=lambda lits: self._clause(lits, label, c,
+                                           "init_consistency_clauses"),
+            c=c, chain_share=self.chain_share)
 
     def _monitor_races(self, k: int, writes: list[PortSignals]) -> None:
         """OR over write-port pairs of (same address AND both enabled).

@@ -5,18 +5,36 @@ representation ("(4m+2n+1)k + 2n + 1 clauses and 3k gates") against "a
 purely circuit-based representation" needing "(4m+2n+2)k + n gates".
 :class:`repro.emm.forwarding.EmmMemory` implements the hybrid encoding;
 this module implements the circuit one: equation (2)/(5) built entirely
-out of AIG nodes —
-
-    RD_{k,r}  =  OR_{j,w} (S_{j,k,w,r} ∧ WD_{j,w})  ∨  (PS_0 ∧ V)
-
-— and forced true bit by bit through the Tseitin emitter.  Same
-semantics, different SAT back-end shape; ``BmcOptions.emm_encoding``
+out of AIG nodes and forced true bit by bit through the Tseitin emitter.
+Same semantics, different SAT back-end shape; ``BmcOptions.emm_encoding``
 selects between them and the A3 benchmark measures both.
 
-One deliberate refinement: with gates, a disabled read (RE=0) collapses
-the whole chain to 0, so RD is *forced to zero* rather than left free as
-in the hybrid encoding.  That matches the reference simulator; designs
-must not consume RD while RE is low under either encoding.
+Two chain constructions are available, selected by ``chain_share``:
+
+* ``chain_share=True`` (default) builds the priority chain
+  **oldest-write-first as a mux chain** — ``value' = mux(S_j, WD_j,
+  value)`` seeded from the initial-state word, with the no-match/PS
+  fall-through accumulated alongside and the read enable applied at the
+  end.  Newer writes are muxed in later, so the newest matching write
+  wins, exactly equation (4)'s priority.  The payoff is *cross-frame
+  structure*: for a read whose address cone recurs (a constant status
+  word, a stable pointer), frame k's entire chain is a strash **prefix**
+  of frame k+1's — the structural-hashing layer (PR 2) answers every
+  repeated stage from its table (counted in
+  ``EmmCounters.chain_suffix_hits``) and per-frame growth collapses from
+  the quadratic per-frame rebuild to O(one new stage).
+
+* ``chain_share=False`` builds latest-write-first with explicit
+  exclusive ``S``/``PS`` signals, exactly the order of equation (4) —
+  the A/B baseline.  Every node of that chain depends on the *newest*
+  write, so frame k+1 shares nothing with frame k and the quadratic
+  part is rebuilt every depth.
+
+One deliberate refinement (both modes): with gates, a disabled read
+(RE=0) collapses the chain to 0, so RD is *forced to zero* rather than
+left free as in the hybrid encoding.  That matches the reference
+simulator; designs must not consume RD while RE is low under either
+encoding.
 """
 
 from __future__ import annotations
@@ -24,11 +42,18 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.aig import ops
-from repro.aig.aig import FALSE
+from repro.aig.aig import FALSE, TRUE, lit_not
 from repro.bmc.unroller import PortSignals, Unroller
 from repro.emm.addrcmp import AddrComparator
-from repro.emm.forwarding import EmmCounters, _ReadRecord
+from repro.emm.forwarding import (EmmCounters, InitReadRegistry, _ReadRecord,
+                                  emit_init_consistency)
 from repro.sat.solver import Solver
+
+#: Clause-booking counters whose clauses the blanket frame delta must not
+#: double-count (they are booked where they are emitted, inside the
+#: initial-state machinery, while ``rd_clauses`` absorbs the remainder).
+_INIT_CLAUSE_COUNTERS = ("init_pin_clauses", "init_addr_eq_clauses",
+                         "init_consistency_clauses", "init_guard_clauses")
 
 
 class GateEmmMemory:
@@ -37,8 +62,9 @@ class GateEmmMemory:
     Supports the same feature set as the hybrid encoder except the
     exclusivity ablation (the chain *is* the encoding here) and race
     monitoring.  Counter semantics: ``excl_gates`` counts every AIG node
-    the encoding creates; clause counters count the CNF the emitter
-    produces for the forced output bits and the initial-state machinery.
+    the encoding creates; ``rd_clauses`` counts the CNF the emitter
+    produces for the forced output bits, with the initial-state machinery
+    booked into its own ``init_*`` counters.
     """
 
     def __init__(self, solver: Solver, unroller: Unroller, mem_name: str,
@@ -47,8 +73,9 @@ class GateEmmMemory:
                  a_meminit: Optional[int] = None,
                  kept_read_ports: Optional[frozenset[int]] = None,
                  check_races: bool = False,
-                 init_registry: Optional[list] = None,
-                 addr_dedup: bool = True) -> None:
+                 init_registry: Optional[InitReadRegistry] = None,
+                 addr_dedup: bool = True,
+                 chain_share: bool = True) -> None:
         if check_races:
             raise ValueError("race monitoring is only available with the "
                              "hybrid EMM encoding")
@@ -74,11 +101,17 @@ class GateEmmMemory:
         #: this encoding already structurally hashes its eq cones).
         self.addr_cmp = AddrComparator(solver, unroller.emitter,
                                        cache=addr_dedup, fold=addr_dedup)
+        self.chain_share = chain_share
+        self._merge_init = chain_share and init_consistency
+        #: Declared-init signature scoping the merge index (see
+        #: :class:`~repro.emm.forwarding.InitReadRegistry`).
+        self._init_sig = (self.mem.init,
+                          tuple(sorted(self.mem.init_words.items())))
         self.race_lits: list[int] = []
         self._writes: list[list[PortSignals]] = []  # AIG-level, per frame
-        self._reads: list[_ReadRecord] = (init_registry
-                                          if init_registry is not None
-                                          else [])
+        self._reads: InitReadRegistry = (init_registry
+                                         if init_registry is not None
+                                         else InitReadRegistry())
         self._frames = 0
 
     # -- EMM_Constraints(k), gate flavour ---------------------------------
@@ -91,6 +124,7 @@ class GateEmmMemory:
         un = self.unroller
         aig = self.aig
         em = self.emitter
+        before = self.counters.snapshot_ints()
         ands_before = aig.num_ands
         clauses_before = self.solver.num_clauses
         hits_before = aig.strash_hits + em.strash_hits
@@ -102,19 +136,77 @@ class GateEmmMemory:
             if r not in self.kept_read_ports:
                 continue
             self._constrain_read(k, r, un.read_port_aig(self.name, r, k))
-        hits = aig.strash_hits + em.strash_hits - hits_before
-        folds = aig.strash_folds - folds_before
-        self.counters.excl_gates += aig.num_ands - ands_before
-        self.counters.rd_clauses += self.solver.num_clauses - clauses_before
-        self.counters.strash_hits += hits
-        self.counters.strash_folds += folds
-        frame = {"gates": aig.num_ands - ands_before,
-                 "clauses": self.solver.num_clauses - clauses_before,
-                 "strash_hits": hits,
-                 "strash_folds": folds}
-        self.counters.per_frame.append(frame)
+        c = self.counters
+        c.excl_gates += aig.num_ands - ands_before
+        # The frame's CNF, minus the clauses the init machinery already
+        # booked into its own counters (absorbed clauses were counted
+        # there but never reached the solver, so they are added back).
+        init_booked = sum(getattr(c, key) - before[key]
+                          for key in _INIT_CLAUSE_COUNTERS)
+        absorbed = c.absorbed - before["absorbed"]
+        c.rd_clauses += (self.solver.num_clauses - clauses_before
+                         - (init_booked - absorbed))
+        c.strash_hits += aig.strash_hits + em.strash_hits - hits_before
+        c.strash_folds += aig.strash_folds - folds_before
+        c.per_frame.append(c.frame_delta(before))
 
     def _constrain_read(self, k: int, r: int, read: PortSignals) -> None:
+        if self.chain_share:
+            self._constrain_read_oldest_first(k, r, read)
+        else:
+            self._constrain_read_latest_first(k, r, read)
+
+    def _constrain_read_oldest_first(self, k: int, r: int,
+                                     read: PortSignals) -> None:
+        """Suffix-shared chain: oldest write first, newest mux wins.
+
+        Stage order is (frame 0, port 0) .. (frame k-1, port W-1); a
+        stage muxed in later overrides every earlier one, so the newest
+        matching write takes priority — equation (4)'s semantics with
+        the chain inverted.  Because stage j's cone depends only on
+        writes 0..j and the (stable) seed, a recurring read address
+        makes frame k's chain a strash prefix of frame k+1's.
+        """
+        aig = self.aig
+        n_bits = self.mem.data_width
+        pairs: list[tuple[int, PortSignals]] = []  # live (S, write), oldest first
+        nomatch = TRUE
+        for j in range(k):
+            for w in range(self.mem.num_write_ports):
+                wsig = self._writes[j][w]
+                s = aig.and_gate(ops.eq_word(aig, read.addr, wsig.addr),
+                                 wsig.en)
+                if s == FALSE:
+                    # Comparator folded FALSE (or WE is constant 0): the
+                    # pair is dead — skip its chain and data gates.
+                    continue
+                pairs.append((s, wsig))
+                nomatch = aig.and_gate(nomatch, lit_not(s))
+        n_lit = aig.and_gate(read.en, nomatch)  # the paper's S_{-1} / PS_0
+        value = list(self._initial_word(read.addr, n_lit, read, k, r))
+        for s, wsig in pairs:
+            ands_before = aig.num_ands
+            hits_before = aig.strash_hits
+            for b in range(n_bits):
+                value[b] = aig.mux(s, wsig.data[b], value[b])
+            if aig.num_ands == ands_before and aig.strash_hits > hits_before:
+                # Whole stage answered by the hash table — a previous
+                # frame's chain (or a sibling read port's, within the
+                # frame) growing by reuse, not rebuild.  The strash-hit
+                # guard keeps purely constant-folded stages (e.g. an
+                # ``s`` that folded TRUE) out of the reuse diagnostic.
+                self.counters.chain_suffix_hits += 1
+        # Gate by the read enable (disabled reads are forced to zero,
+        # matching the latest-first construction and the simulator).
+        value = [aig.and_gate(read.en, vb) for vb in value]
+        em = self.emitter
+        em.set_label(("emm", self.name, "rd"))
+        for b in range(n_bits):
+            em.add_clause([em.sat_lit(aig.iff_(read.data[b], value[b]))])
+
+    def _constrain_read_latest_first(self, k: int, r: int,
+                                     read: PortSignals) -> None:
+        """The PR-2 baseline: equation (4) order, rebuilt every frame."""
         aig = self.aig
         n_bits = self.mem.data_width
         # Priority chain, latest frame / highest write port first, exactly
@@ -161,28 +253,56 @@ class GateEmmMemory:
             return word
         # Section 4.2: fresh symbolic inputs, pinned under a_meminit when
         # the declared init is known, cross-read-consistent via eq. (6).
+        # With chain_share, a read whose lowered address repeats an
+        # existing record's is merged into it: the shared AIG inputs are
+        # exactly what keeps the mux-chain seed stable across frames.
         em = self.emitter
+        em.set_label(("emm", self.name, "init"))
+        c = self.counters
+        addr_sat = em.sat_word(addr)
+        merged = (self._reads.find_mergeable(addr_sat, self._init_sig)
+                  if self._merge_init else None)
+        if merged is not None:
+            self._init_clause([-em.sat_lit(n_lit), merged.guard_lit],
+                              "init_guard_clauses")
+            c.init_records_merged += 1
+            return merged.v_aig
         v_aig = [aig.new_input(f"{self.name}.V{r}.{b}@{k}")
                  for b in range(n_bits)]
-        em.set_label(("emm", self.name, "init"))
         v_sat = [em.sat_lit(v) for v in v_aig]
-        c = self.counters
         if mem.init is not None or mem.init_words:
             self._pin_symbolic(addr, v_sat)
-        addr_sat = em.sat_word(addr)
-        record = _ReadRecord(k, r, addr_sat, em.sat_lit(n_lit), v_sat)
+        guard = None
+        if self._merge_init:
+            guard = self.solver.new_var()
+            c.vars_added += 1
+            self._init_clause([-em.sat_lit(n_lit), guard],
+                              "init_guard_clauses")
+        record = _ReadRecord(k, r, addr_sat, em.sat_lit(n_lit), v_sat,
+                             guard_lit=guard, v_aig=v_aig)
         if self.init_consistency:
             self._consistency(record)
-        self._reads.append(record)
+        self._reads.add(record, index=self._merge_init, sig=self._init_sig)
         c.vars_added += n_bits
         return v_aig
+
+    def _init_clause(self, lits: list[int], counter: str) -> None:
+        """Book an initial-state clause into its own counter.
+
+        Tracking absorption mirrors the hybrid encoder's ``_clause`` and
+        lets :meth:`add_frame` subtract exactly the init clauses that
+        really reached the solver from its blanket CNF delta.
+        """
+        c = self.counters
+        setattr(c, counter, getattr(c, counter) + 1)
+        if self.emitter.add_clause(lits) < 0:
+            c.absorbed += 1
 
     def _pin_symbolic(self, addr: list[int], v_sat: list[int]) -> None:
         """``a_meminit -> V = declared initial contents at addr``."""
         aig = self.aig
         em = self.emitter
         mem = self.mem
-        c = self.counters
         e_sats = []
         for a in sorted(mem.init_words):
             hit = ops.eq_word(aig, addr, ops.const_word(a, len(addr)))
@@ -191,26 +311,23 @@ class GateEmmMemory:
             value = mem.init_words[a]
             for b, v in enumerate(v_sat):
                 lit = v if (value >> b) & 1 else -v
-                em.add_clause([-self.a_meminit, -e_sat, lit])
-                c.init_pin_clauses += 1
+                self._init_clause([-self.a_meminit, -e_sat, lit],
+                                  "init_pin_clauses")
         if mem.init is not None:
             for b, v in enumerate(v_sat):
                 lit = v if (mem.init >> b) & 1 else -v
-                em.add_clause([-self.a_meminit] + e_sats + [lit])
-                c.init_pin_clauses += 1
+                self._init_clause([-self.a_meminit] + e_sats + [lit],
+                                  "init_pin_clauses")
 
     def _consistency(self, new: _ReadRecord) -> None:
         """Equation (6) across all recorded fall-through reads."""
-        em = self.emitter
-        c = self.counters
-        for old in self._reads:
-            eq = self._sat_addr_eq(new.addr, old.addr)
-            guard = [-eq, -new.n_lit, -old.n_lit]
-            for vb_new, vb_old in zip(new.v_vars, old.v_vars):
-                em.add_clause(guard + [-vb_new, vb_old])
-                em.add_clause(guard + [vb_new, -vb_old])
-                c.init_consistency_clauses += 2
-            c.init_pairs += 1
+        emit_init_consistency(
+            new, self._reads.records,
+            addr_eq=self._sat_addr_eq,
+            const_value=self.addr_cmp.const_value,
+            emit=lambda lits: self._init_clause(lits,
+                                                "init_consistency_clauses"),
+            c=self.counters, chain_share=self.chain_share)
 
     def _sat_addr_eq(self, a_bits: list[int], b_bits: list[int]) -> int:
         """CNF equality indicator over already-emitted SAT literals."""
