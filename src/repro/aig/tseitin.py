@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Hashable, Optional, Sequence
 
-from repro.aig.aig import Aig
+from repro.aig.aig import Aig, FALSE, TRUE
 from repro.sat.solver import Solver
 
 
@@ -47,6 +47,7 @@ class CnfEmitter:
         self.aig = aig
         self.solver = solver
         self._var_of: dict[int, int] = {}  # AIG node index -> SAT var
+        self._input_of: dict[int, int] = {}  # SAT var -> aliased input index
         self._label: Hashable = None
         self._const_var: Optional[int] = None
         #: canonical (fanin SAT lit, fanin SAT lit) -> gate output var
@@ -98,6 +99,39 @@ class CnfEmitter:
     def var_for(self, aig_lit: int) -> Optional[int]:
         """SAT var already allocated for the literal's node, if any."""
         return self._var_of.get(aig_lit >> 1)
+
+    # -- lifting (SAT -> AIG, the inverse direction) ---------------------
+
+    def aig_lit_for(self, sat_lit: int, name: str = "") -> int:
+        """AIG literal *aliased* to an existing SAT literal.
+
+        The inverse of :meth:`sat_lit`: the returned literal is an AIG
+        primary input whose node is bound to ``sat_lit``'s variable, so
+        lowering it back emits no clauses and returns the original
+        literal.  Two guarantees make this the bridge that lets CNF-level
+        signals (EMM address comparators, port enables) participate in
+        AIG construction:
+
+        * **Stable identity** — repeated requests for the same SAT
+          variable return the same input node, so a cone built over
+          aliased literals at frame k is structurally identical to the
+          same cone rebuilt at frame k+1 and the strash layer shares it.
+        * **Constant transparency** — literals of the emitter's dedicated
+          always-true variable map to the AIG constants, so downstream
+          ``and_gate`` folding mirrors what clause-level absorption would
+          have done to the same constraint.
+        """
+        value = self.const_value(sat_lit)
+        if value is not None:
+            return TRUE if value else FALSE
+        var = abs(sat_lit)
+        idx = self._input_of.get(var)
+        if idx is None:
+            lit = self.aig.new_input(name or f"sat{var}")
+            idx = lit >> 1
+            self._input_of[var] = idx
+            self._var_of[idx] = var
+        return (idx << 1) | (1 if sat_lit < 0 else 0)
 
     # -- constant identity (used by the EMM address-comparison layer) ----
 

@@ -41,7 +41,7 @@ def forward_recurrence_diameter(design: Design, max_depth: int = 100,
     design.validate()
     opts = options or BmcOptions()
     solver = Solver(proof=False)
-    emitter = CnfEmitter(Aig(), solver)
+    emitter = CnfEmitter(Aig(strash=opts.strash), solver, strash=opts.strash)
     unroller = Unroller(design, emitter, opts.kept_latches)
     a_init = solver.new_var()
     a_meminit = solver.new_var()
@@ -54,7 +54,10 @@ def forward_recurrence_diameter(design: Design, max_depth: int = 100,
                   exclusivity=opts.exclusivity,
                   init_consistency=opts.init_consistency,
                   symbolic_init=True, a_meminit=a_meminit,
-                  kept_read_ports=port_map.get(name))
+                  kept_read_ports=port_map.get(name),
+                  addr_dedup=opts.emm_addr_dedup,
+                  chain_share=opts.emm_chain_share,
+                  hybrid_strash=opts.emm_hybrid_strash)
         for name in sorted(kept_mems)
     ]
     lfp = LoopFreeConstraints(unroller, a_lfp)

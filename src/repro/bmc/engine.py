@@ -69,6 +69,16 @@ class BmcOptions:
     #: whose comparator folds TRUE.  False is the PR-2 latest-first /
     #: all-pairs baseline for A/B comparisons.
     emm_chain_share: bool = True
+    #: AIG-routed hybrid chain back-end: the hybrid EMM encoder builds
+    #: its equation-(4)/(5) forwarding chain and read-data muxes on the
+    #: structurally hashed AIG over aliased comparator/port literals
+    #: (shared chain builders with the gate encoding), so recurring
+    #: address cones plateau instead of re-emitting raw CNF per frame.
+    #: False is the paper's hand-written CNF emission — the closed-form
+    #: baseline for the accounting tests and the C5 bench.  No effect on
+    #: ``emm_encoding="gates"`` (always AIG) or ``exclusivity=False``
+    #: (no chain to route).
+    emm_hybrid_strash: bool = True
     #: Latch-based abstraction: latches to keep (None = all).
     kept_latches: Optional[frozenset[str]] = None
     #: Memory abstraction: memories to keep EMM constraints for (None = all).
@@ -160,7 +170,8 @@ class BmcEngine:
                             kept_read_ports=port_map.get(name),
                             init_registry=registries.get(name),
                             addr_dedup=self.options.emm_addr_dedup,
-                            chain_share=self.options.emm_chain_share)
+                            chain_share=self.options.emm_chain_share,
+                            hybrid_strash=self.options.emm_hybrid_strash)
             for name in sorted(kept_mems)
         }
         self.lfp = (LoopFreeConstraints(self.unroller, self.a_lfp)
@@ -314,6 +325,10 @@ class BmcEngine:
                                           for e in self.emms.values())
         stats.emm_init_records_merged = sum(e.counters.init_records_merged
                                             for e in self.emms.values())
+        stats.emm_strash_hits = sum(e.counters.strash_hits
+                                    for e in self.emms.values())
+        stats.emm_strash_folds = sum(e.counters.strash_folds
+                                     for e in self.emms.values())
         stats.strash_hits = self.aig.strash_hits + self.emitter.strash_hits
         stats.strash_folds = self.aig.strash_folds
         stats.aig_nodes = self.aig.num_ands

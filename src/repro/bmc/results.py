@@ -42,6 +42,15 @@ class BmcRunStats:
     emm_chain_suffix_hits: int = 0
     emm_init_pairs_pruned: int = 0
     emm_init_records_merged: int = 0
+    #: Structural-hashing savings *attributed to EMM constraint
+    #: construction* (summed over memories): AND cones and gate triples
+    #: answered from the hash tables while an EMM encoder built its
+    #: chain, and requests folded away by constant/idempotence rules.
+    #: Fed by both the gate encoding and the AIG-routed hybrid back-end
+    #: (``BmcOptions.emm_hybrid_strash``); a subset of the run-wide
+    #: ``strash_hits`` / ``strash_folds`` below.
+    emm_strash_hits: int = 0
+    emm_strash_folds: int = 0
     #: Structural-hashing savings of the whole run: AND requests answered
     #: from the AIG hash table plus gate triples reused by the Tseitin
     #: emitter's CNF-level cache, and AND requests folded to constants

@@ -144,6 +144,7 @@ def cmd_verify(args) -> int:
                              emm_addr_dedup=not args.no_addr_dedup,
                              strash=not args.no_strash,
                              emm_chain_share=not args.no_chain_share,
+                             emm_hybrid_strash=not args.no_hybrid_strash,
                              timeout_s=args.timeout)
     props = [args.property] if args.property else sorted(design.properties)
     status = 0
@@ -277,6 +278,11 @@ def main(argv=None) -> int:
                           help="disable cross-frame chain-suffix sharing "
                                "and incremental equation-(6) pruning "
                                "(latest-first / all-pairs baseline)")
+    p_verify.add_argument("--no-hybrid-strash", action="store_true",
+                          help="re-emit the hybrid EMM encoding as raw "
+                               "CNF per frame instead of routing its "
+                               "chain through the strashed AIG "
+                               "(the paper's closed-form baseline)")
     p_verify.add_argument("--no-init-consistency", action="store_true",
                           help="ablation: drop equation (6) constraints")
     p_verify.add_argument("--show-trace", action="store_true")

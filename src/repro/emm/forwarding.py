@@ -33,6 +33,31 @@ dedicated ``race_addr_eq_clauses`` / ``race_clauses`` / ``race_gates``
 counters, which are *excluded* from ``total_clauses`` and
 ``total_gates`` so the paper-formula comparisons stay exact whether or
 not the monitor is on.
+
+Two chain back-ends (``hybrid_strash``):
+
+* ``hybrid_strash=True`` (default) routes the equation-(4)/(5)
+  forwarding logic through the structurally hashed AIG: the comparator
+  ``E`` literals stay CNF (the layer above) but enter the AIG as
+  *aliased inputs* (:meth:`repro.aig.tseitin.CnfEmitter.aig_lit_for`),
+  and the ``s``/``PS`` chain plus the data-forwarding muxes are built
+  with the same shared chain builders the pure-gate encoding uses
+  (:func:`repro.aig.ops.priority_mux_chain` /
+  :func:`~repro.aig.ops.exclusive_select_chain`).  Because aliased
+  inputs have stable identity and cached comparators return the same
+  ``E`` across frames, a recurring read-address cone makes frame k's
+  chain a strash prefix of frame k+1's — per-frame growth plateaus on
+  constant-address reads exactly as in the gate encoding (bench C5).
+  The lowered chain clauses keep per-memory ``("emm", name, *)``
+  provenance labels under the emitter's first-emitter-wins rule, so
+  proof-based abstraction is unaffected.
+* ``hybrid_strash=False`` re-emits the paper's hand-written CNF every
+  frame — equation (5)'s ``2n`` implication clauses per pair, the
+  validity clause, raw 3-clause ``AND`` gates for the chain.  This is
+  the exact-closed-form baseline the accounting tests pin and the A/B
+  reference for the differential matrix.  The ``exclusivity=False``
+  ablation always uses this back-end (the naive long-clause encoding
+  has no chain to route).
 """
 
 from __future__ import annotations
@@ -40,6 +65,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.aig import ops
+from repro.aig.aig import FALSE, TRUE, lit_not
 from repro.bmc.unroller import PortSignals, Unroller
 from repro.emm.addrcmp import AddrComparator
 from repro.sat.solver import Solver
@@ -78,10 +105,12 @@ class EmmCounters:
     race_addr_eq_cache_hits: int = 0
     race_addr_eq_folded: int = 0
     #: AIG/CNF structural-hashing savings attributed to this memory's
-    #: constraint construction (gate encoding only: the hybrid encoder
-    #: emits CNF directly and books its sharing into the addr_eq_*
-    #: counters above).  Hits are reused AND cones, folds are requests
-    #: collapsed by constant/idempotence/complement rules.
+    #: constraint construction — fed by the gate encoding and by the
+    #: hybrid's AIG-routed back-end (``hybrid_strash``); the raw hybrid
+    #: back-end emits CNF directly and books its sharing into the
+    #: addr_eq_* counters above.  Hits are reused AND cones / gate
+    #: triples, folds are requests collapsed by constant/idempotence/
+    #: complement rules.
     strash_hits: int = 0
     strash_folds: int = 0
     #: Equation-(6) pairs skipped because their address comparator folded
@@ -96,10 +125,11 @@ class EmmCounters:
     #: One-directional guard clauses ``n_read -> G_record`` that keep
     #: merged records covered by every already-emitted eq-(6) pair.
     init_guard_clauses: int = 0
-    #: Gate-encoding mux-chain stages answered entirely by the strash
-    #: layer (zero new gates).  On recurring address cones this is frame
-    #: k's chain re-appearing as a prefix of frame k+1's; within-frame
-    #: reuse — read ports sharing one address cone — counts too.
+    #: Mux-chain stages answered entirely by the strash layer (zero new
+    #: gates), in the gate encoding and the hybrid's AIG-routed back-end
+    #: alike.  On recurring address cones this is frame k's chain
+    #: re-appearing as a prefix of frame k+1's; within-frame reuse —
+    #: read ports sharing one address cone — counts too.
     chain_suffix_hits: int = 0
     per_frame: list[dict] = field(default_factory=list)
 
@@ -269,12 +299,19 @@ class EmmMemory:
         address cone is structurally identical to an existing record's
         (the fold-TRUE case) are *merged* into it — reusing its symbolic
         word and guard instead of minting fresh variables, pins and a
-        quadratic number of new pairs.  In the gate encoding the same
-        option additionally selects the oldest-write-first mux chain
-        (see :class:`repro.emm.gates.GateEmmMemory`); the hybrid chain
-        itself is direct CNF and keeps the paper's equation-(4) order
-        either way.  False reproduces the PR-2 behaviour exactly (the
-        A/B baseline for the chain-share cross-checks).
+        quadratic number of new pairs.  With ``hybrid_strash`` (or in
+        the gate encoding) the same option additionally selects the
+        oldest-write-first mux chain whose cross-frame suffix sharing
+        the strash layer exploits; with the raw CNF back-end the chain
+        keeps the paper's equation-(4) order either way.  False
+        reproduces the PR-2 behaviour exactly (the A/B baseline for the
+        chain-share cross-checks).
+    hybrid_strash:
+        When True (default) the forwarding chain and read-data muxes are
+        built on the structurally hashed AIG over aliased comparator /
+        port literals (see the module docstring); when False every frame
+        re-emits the paper's direct CNF.  Ignored (raw CNF) under the
+        ``exclusivity=False`` ablation.
     """
 
     def __init__(self, solver: Solver, unroller: Unroller, mem_name: str,
@@ -285,10 +322,12 @@ class EmmMemory:
                  check_races: bool = False,
                  init_registry: Optional[InitReadRegistry] = None,
                  addr_dedup: bool = True,
-                 chain_share: bool = True) -> None:
+                 chain_share: bool = True,
+                 hybrid_strash: bool = True) -> None:
         self.solver = solver
         self.unroller = unroller
         self.emitter = unroller.emitter
+        self.aig = unroller.aig
         self.mem = unroller.design.memories[mem_name]
         self.name = mem_name
         self.exclusivity = exclusivity
@@ -335,6 +374,9 @@ class EmmMemory:
                                          if init_registry is not None
                                          else InitReadRegistry())
         self.chain_share = chain_share
+        #: AIG-routed chain back-end; the naive eq-(3) ablation has no
+        #: chain to route, so it always keeps the raw CNF emission.
+        self.hybrid_strash = hybrid_strash and exclusivity
         #: Record merging needs the eq-(6) machinery to be on: with the
         #: init-consistency ablation active, sharing a symbolic word
         #: would silently re-introduce (part of) the constraints the
@@ -369,6 +411,177 @@ class EmmMemory:
         self.counters.per_frame.append(self.counters.frame_delta(before))
 
     def _constrain_read(self, k: int, r: int, read: PortSignals) -> None:
+        if self.hybrid_strash:
+            self._constrain_read_aig(k, r, read)
+        else:
+            self._constrain_read_raw(k, r, read)
+
+    # -- AIG-routed back-end (hybrid_strash=True) --------------------------
+
+    def _constrain_read_aig(self, k: int, r: int, read: PortSignals) -> None:
+        """Equations (4)/(5) routed through the structurally hashed AIG.
+
+        Comparators stay the hybrid's CNF layer — per-memory cache,
+        ``4m+1`` closed form, per-memory PBA labels — and their ``E``
+        literals enter the AIG as aliased inputs alongside the port
+        enables and write-data words.  The chain and the data muxes are
+        built with the shared builders of :mod:`repro.aig.ops` and
+        lowered back through the emitter's gate-triple cache; the read
+        is bound by ``RE -> RD == value`` (``2n`` clauses), which leaves
+        RD free while RE is low exactly like the raw back-end.  Counter
+        semantics follow the gate encoder: ``excl_gates`` counts AIG
+        nodes, ``rd_clauses`` the lowered gate triples (3 clauses each)
+        plus the forced read-data clauses; sharing is reported through
+        ``strash_hits`` / ``strash_folds`` / ``chain_suffix_hits``.
+        """
+        aig = self.aig
+        em = self.emitter
+        c = self.counters
+        mem = self.mem
+        n_bits = mem.data_width
+        label_excl = ("emm", self.name, "excl")
+        ands0 = aig.num_ands
+        triples0 = em.gates_emitted
+        hits0 = aig.strash_hits + em.strash_hits
+        folds0 = aig.strash_folds
+        # Match signals s = E ∧ WE, oldest pair first (the comparator
+        # request order of the raw back-end's step 1).  A comparator
+        # folded to FALSE makes the pair dead — ``and_gate`` collapses
+        # it and the stage is skipped, mirroring the raw pruning; a fold
+        # to TRUE makes s coincide with the (aliased) write enable.
+        stages: list[tuple[int, list[int]]] = []  # live (s, WD), oldest first
+        for j in range(k):
+            for w in range(mem.num_write_ports):
+                wsig = self._writes[j][w]
+                e_var = self._addr_eq(read.addr, wsig.addr,
+                                      ("emm", self.name, "addr_eq"), c,
+                                      "addr_eq_clauses")
+                s = aig.and_gate(em.aig_lit_for(e_var),
+                                 em.aig_lit_for(wsig.en))
+                if s == FALSE:
+                    continue
+                stages.append((s, [em.aig_lit_for(b) for b in wsig.data]))
+        re_aig = em.aig_lit_for(read.en)
+        em.set_label(label_excl)
+        # ``n_lit`` ("the read fell through to the initial state") is only
+        # consumed by the symbolic-init record machinery — for known-init
+        # memories the seed is a constant word and the mux chain needs no
+        # explicit fall-through signal, so its cone is neither built (mux
+        # mode) nor lowered (exclusive mode).
+        if self.chain_share:
+            # Oldest-write-first mux chain: recurring address cones make
+            # frame k's chain a strash prefix of frame k+1's.
+            n_lit = None
+            if self.symbolic_init:
+                nomatch = TRUE
+                for s, _ in stages:
+                    nomatch = aig.and_gate(nomatch, lit_not(s))
+                n_lit = em.sat_lit(aig.and_gate(re_aig, nomatch))
+            seed = self._chain_init_word(read, n_lit, k, r)
+            value, suffix_hits = ops.priority_mux_chain(aig, stages, seed)
+            c.chain_suffix_hits += suffix_hits
+        else:
+            # Equation (4)'s latest-first exclusive chain, rebuilt per
+            # frame — the chain-share A/B baseline on the AIG back-end.
+            selected, n_aig = ops.exclusive_select_chain(
+                aig, list(reversed(stages)), re_aig)
+            n_lit = em.sat_lit(n_aig) if self.symbolic_init else None
+            seed = self._chain_init_word(read, n_lit, k, r)
+            value = ops.onehot_select_word(aig, selected, n_aig, seed)
+        v_sats = [em.sat_lit(vb) for vb in value]
+        label_rd = ("emm", self.name, "rd")
+        for b in range(n_bits):
+            self._clause([-read.en, -read.data[b], v_sats[b]],
+                         label_rd, c, "rd_clauses")
+            self._clause([-read.en, read.data[b], -v_sats[b]],
+                         label_rd, c, "rd_clauses")
+        c.excl_gates += aig.num_ands - ands0
+        c.rd_clauses += 3 * (em.gates_emitted - triples0)
+        c.strash_hits += aig.strash_hits + em.strash_hits - hits0
+        c.strash_folds += aig.strash_folds - folds0
+
+    def _chain_init_word(self, read: PortSignals, n_lit: Optional[int],
+                         k: int, r: int) -> list[int]:
+        """AIG word holding the initial memory contents at the read address.
+
+        The ``hybrid_strash`` counterpart of the raw back-end's step 4:
+        the chain *seed* is the initial word, so the separate
+        ``N -> RD = init`` clauses (``init_rd_clauses``) are subsumed by
+        the routed chain.  Known-init memories seed from constants with
+        ROM overrides selected by the cached CNF comparators;
+        symbolic-init reads mint (or merge into) the same SAT-level
+        records as the raw back-end — pins, guards and equation (6) are
+        shared code — and alias the record's word into the AIG, which is
+        what keeps a merged read's seed stable across frames.
+        """
+        aig = self.aig
+        em = self.emitter
+        mem = self.mem
+        c = self.counters
+        n_bits = mem.data_width
+        # Every clause this method books carries an explicit label; the
+        # seed's AIG cones (ROM-override muxes included) are lowered
+        # later with the rest of the chain, under the caller's current
+        # ("emm", name, "excl") label — same memory, so PBA reason
+        # extraction is indifferent to the split.
+        label_init = ("emm", self.name, "init")
+        if not self.symbolic_init:
+            word = ops.const_word(mem.init, n_bits)
+            for a in sorted(mem.init_words):
+                hit = self._addr_eq_const(read.addr, a, label_init, c)
+                word = ops.mux_word(aig, em.aig_lit_for(hit),
+                                    ops.const_word(mem.init_words[a], n_bits),
+                                    word)
+            return word
+        v_vars = self._init_read_record(read.addr, n_lit, k, r)
+        return [em.aig_lit_for(v) for v in v_vars]
+
+    def _init_read_record(self, addr: list[int], n_lit: int, k: int,
+                          r: int) -> list[int]:
+        """Merge into or mint the fall-through read record; returns its word.
+
+        The single record-minting implementation behind both hybrid
+        back-ends: merge lookup, guard emission, ``a_meminit`` pins,
+        equation (6) and registry insertion live here once — the callers
+        differ only in how the returned symbolic word binds to RD (the
+        raw back-end's direct ``2n`` clauses vs the routed chain seed).
+        """
+        mem = self.mem
+        c = self.counters
+        label_init = ("emm", self.name, "init")
+        merged = (self._reads.find_mergeable(addr, self._init_sig)
+                  if self._merge_init else None)
+        if merged is not None:
+            # Identical address cone *and* declared-init signature (both
+            # are merge-key components): the record's pins already say
+            # everything a_meminit would; pairs against every other
+            # record stay valid through its guard.
+            self._clause([-n_lit, merged.guard_lit], label_init, c,
+                         "init_guard_clauses")
+            c.init_records_merged += 1
+            return merged.v_vars
+        v_vars = [self._new_var() for _ in range(mem.data_width)]
+        if mem.init is not None or mem.init_words:
+            # Pin the symbols to the declared init under a_meminit, so
+            # falsification / forward checks see the real initial memory
+            # while backward induction sees an arbitrary one.
+            self._pin_word(v_vars, self.a_meminit, addr, label_init, c,
+                           "init_pin_clauses")
+        guard = None
+        if self._merge_init:
+            guard = self._new_var()
+            self._clause([-n_lit, guard], label_init, c,
+                         "init_guard_clauses")
+        record = _ReadRecord(k, r, list(addr), n_lit, v_vars,
+                             guard_lit=guard)
+        if self.init_consistency:
+            self._add_init_consistency(record, c)
+        self._reads.add(record, index=self._merge_init, sig=self._init_sig)
+        return v_vars
+
+    # -- raw-CNF back-end (hybrid_strash=False, the paper's encoding) ------
+
+    def _constrain_read_raw(self, k: int, r: int, read: PortSignals) -> None:
         mem = self.mem
         w_ports = mem.num_write_ports
         c = self.counters
@@ -463,44 +676,15 @@ class EmmMemory:
             # chain_share, a read whose address cone structurally repeats
             # an existing record's (the comparator would fold TRUE) is
             # merged into it: same word, no new pins, no new pairs — only
-            # the 2n read-data clauses and one guard clause.
-            merged = (self._reads.find_mergeable(read.addr, self._init_sig)
-                      if self._merge_init else None)
-            if merged is not None:
-                v_vars = merged.v_vars
-            else:
-                v_vars = [self._new_var() for _ in range(n_bits)]
+            # the 2n read-data clauses and one guard clause.  The record
+            # machinery is shared with the AIG back-end; only the RD
+            # binding below is raw-CNF-specific.
+            v_vars = self._init_read_record(read.addr, n_lit, k, r)
             for b in range(n_bits):
                 self._clause([-n_lit, -read.data[b], v_vars[b]],
                              label_init, c, "init_rd_clauses")
                 self._clause([-n_lit, read.data[b], -v_vars[b]],
                              label_init, c, "init_rd_clauses")
-            if merged is not None:
-                # Identical address cone *and* declared-init signature
-                # (both are merge-key components): the record's pins
-                # already say everything a_meminit would; pairs against
-                # every other record stay valid through its guard.
-                self._clause([-n_lit, merged.guard_lit], label_init, c,
-                             "init_guard_clauses")
-                c.init_records_merged += 1
-                return
-            if mem.init is not None or mem.init_words:
-                # Pin the symbols to the declared init under a_meminit, so
-                # falsification / forward checks see the real initial
-                # memory while backward induction sees an arbitrary one.
-                self._pin_word(v_vars, self.a_meminit, read.addr, label_init,
-                               c, "init_pin_clauses")
-            guard = None
-            if self._merge_init:
-                guard = self._new_var()
-                self._clause([-n_lit, guard], label_init, c,
-                             "init_guard_clauses")
-            record = _ReadRecord(k, r, list(read.addr), n_lit, v_vars,
-                                 guard_lit=guard)
-            if self.init_consistency:
-                self._add_init_consistency(record, c)
-            self._reads.add(record, index=self._merge_init,
-                            sig=self._init_sig)
 
     def _pin_word(self, word: list[int], guard: int, addr: list[int],
                   label, c: EmmCounters, counter: str) -> None:

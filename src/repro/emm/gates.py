@@ -30,6 +30,13 @@ Two chain constructions are available, selected by ``chain_share``:
   write, so frame k+1 shares nothing with frame k and the quadratic
   part is rebuilt every depth.
 
+Both constructions live in :mod:`repro.aig.ops`
+(:func:`~repro.aig.ops.priority_mux_chain`,
+:func:`~repro.aig.ops.exclusive_select_chain`) and are shared with the
+AIG-routed hybrid encoder (``EmmMemory(hybrid_strash=True)``): the two
+encodings differ in how the match signals and the read-data binding are
+produced, not in the chain itself.
+
 One deliberate refinement (both modes): with gates, a disabled read
 (RE=0) collapses the chain to 0, so RD is *forced to zero* rather than
 left free as in the hybrid encoding.  That matches the reference
@@ -75,7 +82,11 @@ class GateEmmMemory:
                  check_races: bool = False,
                  init_registry: Optional[InitReadRegistry] = None,
                  addr_dedup: bool = True,
-                 chain_share: bool = True) -> None:
+                 chain_share: bool = True,
+                 hybrid_strash: bool = True) -> None:
+        # ``hybrid_strash`` is accepted for constructor parity with the
+        # hybrid encoder (the engine passes one kwarg set to whichever
+        # class the options select); this encoding is always AIG-routed.
         if check_races:
             raise ValueError("race monitoring is only available with the "
                              "hybrid EMM encoding")
@@ -169,7 +180,7 @@ class GateEmmMemory:
         """
         aig = self.aig
         n_bits = self.mem.data_width
-        pairs: list[tuple[int, PortSignals]] = []  # live (S, write), oldest first
+        stages: list[tuple[int, list[int]]] = []  # live (S, WD), oldest first
         nomatch = TRUE
         for j in range(k):
             for w in range(self.mem.num_write_ports):
@@ -180,22 +191,12 @@ class GateEmmMemory:
                     # Comparator folded FALSE (or WE is constant 0): the
                     # pair is dead — skip its chain and data gates.
                     continue
-                pairs.append((s, wsig))
+                stages.append((s, wsig.data))
                 nomatch = aig.and_gate(nomatch, lit_not(s))
         n_lit = aig.and_gate(read.en, nomatch)  # the paper's S_{-1} / PS_0
-        value = list(self._initial_word(read.addr, n_lit, read, k, r))
-        for s, wsig in pairs:
-            ands_before = aig.num_ands
-            hits_before = aig.strash_hits
-            for b in range(n_bits):
-                value[b] = aig.mux(s, wsig.data[b], value[b])
-            if aig.num_ands == ands_before and aig.strash_hits > hits_before:
-                # Whole stage answered by the hash table — a previous
-                # frame's chain (or a sibling read port's, within the
-                # frame) growing by reuse, not rebuild.  The strash-hit
-                # guard keeps purely constant-folded stages (e.g. an
-                # ``s`` that folded TRUE) out of the reuse diagnostic.
-                self.counters.chain_suffix_hits += 1
+        seed = self._initial_word(read.addr, n_lit, read, k, r)
+        value, suffix_hits = ops.priority_mux_chain(aig, stages, seed)
+        self.counters.chain_suffix_hits += suffix_hits
         # Gate by the read enable (disabled reads are forced to zero,
         # matching the latest-first construction and the simulator).
         value = [aig.and_gate(read.en, vb) for vb in value]
@@ -211,8 +212,7 @@ class GateEmmMemory:
         n_bits = self.mem.data_width
         # Priority chain, latest frame / highest write port first, exactly
         # the order of equation (4).
-        ps = read.en
-        value = [FALSE] * n_bits
+        stages: list[tuple[int, list[int]]] = []
         for j in range(k - 1, -1, -1):
             for w in range(self.mem.num_write_ports - 1, -1, -1):
                 wsig = self._writes[j][w]
@@ -222,15 +222,11 @@ class GateEmmMemory:
                     # Comparator folded FALSE (or WE is constant 0): the
                     # pair is dead — skip its chain and data gates.
                     continue
-                s_excl = aig.and_gate(s, ps)
-                ps = aig.and_gate(s ^ 1, ps)  # AIG literals negate via bit 0
-                for b in range(n_bits):
-                    value[b] = aig.or_(value[b],
-                                       aig.and_gate(s_excl, wsig.data[b]))
+                stages.append((s, wsig.data))
+        selected, ps = ops.exclusive_select_chain(aig, stages, read.en)
         n_lit = ps  # no write matched: fall through to the initial state
         init_word = self._initial_word(read.addr, n_lit, read, k, r)
-        for b in range(n_bits):
-            value[b] = aig.or_(value[b], aig.and_(n_lit, init_word[b]))
+        value = ops.onehot_select_word(aig, selected, n_lit, init_word)
         # Force RD = value (per bit) through the emitter.
         em = self.emitter
         em.set_label(("emm", self.name, "rd"))

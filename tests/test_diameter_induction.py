@@ -1,0 +1,166 @@
+"""Dedicated unit tests for ``bmc/diameter.py`` and ``bmc/induction.py``.
+
+Both modules were previously exercised only through the engine's
+end-to-end flows; these tests pin their behaviour directly — the
+loop-free-path constraint counts and satisfiability semantics of
+:class:`~repro.bmc.induction.LoopFreeConstraints` on designs with a
+known state graph, and the longest-shortest-path cutoff / option
+handling of :func:`~repro.bmc.diameter.forward_recurrence_diameter`.
+"""
+
+import pytest
+
+from repro.aig import Aig, CnfEmitter
+from repro.bmc.diameter import forward_recurrence_diameter
+from repro.bmc.engine import BmcOptions
+from repro.bmc.induction import LoopFreeConstraints
+from repro.bmc.unroller import Unroller
+from repro.design import Design
+from repro.sat import Solver
+
+
+def counter_design(width=2, step=1):
+    d = Design(f"cnt{width}s{step}")
+    c = d.latch("c", width, init=0)
+    c.next = c.expr + step
+    d.invariant("p", d.const(1, 1))
+    return d
+
+
+def lfp_setup(design, kept_latches=None):
+    solver = Solver(proof=False)
+    emitter = CnfEmitter(Aig(), solver)
+    unroller = Unroller(design, emitter, kept_latches)
+    a_lfp = solver.new_var()
+    return solver, unroller, LoopFreeConstraints(unroller, a_lfp), a_lfp
+
+
+class TestLoopFreeConstraints:
+    def test_pair_and_clause_counts(self):
+        """Frame k adds k pairs; each pair costs 2 clauses per state bit
+        plus the closing some-bit-differs clause."""
+        design = counter_design(width=3)
+        solver, unroller, lfp, _ = lfp_setup(design)
+        bits = 3  # one latch, width 3
+        for k in range(5):
+            unroller.add_frame()
+            lfp.add_frame(k)
+            expected_pairs = k * (k + 1) // 2
+            assert lfp.pairs_added == expected_pairs
+            assert lfp.clauses_added == expected_pairs * (2 * bits + 1)
+
+    def test_loop_free_paths_bounded_by_state_count(self):
+        """A free-running 2-bit counter has exactly 4 states: loop-free
+        paths of length <= 3 exist (4 distinct states), length 4 does
+        not — the LFP constraints must flip to UNSAT exactly there."""
+        design = counter_design(width=2)
+        solver, unroller, lfp, a_lfp = lfp_setup(design)
+        sat_at = {}
+        for k in range(5):
+            unroller.add_frame()
+            lfp.add_frame(k)
+            sat_at[k] = solver.solve([a_lfp]).sat
+        assert sat_at == {0: True, 1: True, 2: True, 3: True, 4: False}
+
+    def test_deactivated_lfp_stays_satisfiable(self):
+        """Without assuming the activation literal the pairwise
+        difference constraints must not constrain anything (looping
+        paths remain satisfiable past the state count)."""
+        design = counter_design(width=1)
+        solver, unroller, lfp, a_lfp = lfp_setup(design)
+        for k in range(4):
+            unroller.add_frame()
+            lfp.add_frame(k)
+        assert solver.solve([a_lfp]).sat is False  # 2 states, 4 frames
+        assert solver.solve([]).sat is True
+        assert solver.solve([-a_lfp]).sat is True
+
+    def test_kept_latches_scope_the_state(self):
+        """Loop-freedom is judged over the *kept* latch words only: with
+        the wide latch abstracted away, the 1-bit latch bounds the
+        loop-free length instead."""
+        d = Design("two")
+        wide = d.latch("wide", 3, init=0)
+        wide.next = wide.expr + 1
+        small = d.latch("small", 1, init=0)
+        small.next = ~small.expr
+        d.invariant("p", d.const(1, 1))
+        solver, unroller, lfp, a_lfp = lfp_setup(
+            d, kept_latches=frozenset({"small"}))
+        results = []
+        for k in range(3):
+            unroller.add_frame()
+            lfp.add_frame(k)
+            results.append(solver.solve([a_lfp]).sat)
+        # 2 reachable small-states: length-2 loop-free paths impossible.
+        assert results == [True, True, False]
+        assert lfp.clauses_added == (2 * 1 + 1) * 3  # 1-bit state pairs
+
+
+class TestForwardRecurrenceDiameter:
+    def test_known_diameter_full_period_counter(self):
+        """A width-w step-1 counter walks all 2**w states in a line from
+        init: the longest loop-free path from I has 2**w states, so the
+        diameter (first UNSAT length) is exactly 2**w."""
+        assert forward_recurrence_diameter(counter_design(width=2)) == 4
+        assert forward_recurrence_diameter(counter_design(width=3)) == 8
+
+    def test_short_period_counter(self):
+        """Step 2 on 2 bits cycles through only 2 states from init 0."""
+        assert forward_recurrence_diameter(counter_design(2, step=2)) == 2
+
+    def test_cutoff_returns_none(self):
+        """The longest-shortest-path cutoff: a bound below the true
+        diameter must return None, never a wrong number."""
+        d = counter_design(width=3)  # true diameter 8
+        assert forward_recurrence_diameter(d, max_depth=7) is None
+        assert forward_recurrence_diameter(d, max_depth=8) == 8
+
+    def test_kept_latches_option_shrinks_diameter(self):
+        """Latch abstraction turns the wide counter into a free input:
+        the diameter is then governed by the remaining 1-bit toggler."""
+        d = Design("two")
+        wide = d.latch("wide", 3, init=0)
+        wide.next = wide.expr + 1
+        small = d.latch("small", 1, init=0)
+        small.next = ~small.expr
+        d.invariant("p", d.const(1, 1))
+        full = forward_recurrence_diameter(d)
+        abstracted = forward_recurrence_diameter(
+            d, options=BmcOptions(kept_latches=frozenset({"small"})))
+        assert full == 8
+        assert abstracted == 2
+
+    @pytest.mark.parametrize("init", [0, None])
+    def test_memory_design_diameter_is_latch_bounded(self, init):
+        """With an embedded memory (EMM constraints active, symbolic
+        initial words for induction soundness) loop-freedom is still
+        judged over the latch state: the memory must not extend the
+        diameter of the 2-bit controller, under known or arbitrary
+        initial memory contents."""
+        d = Design("memctr")
+        t = d.latch("t", 2, init=0)
+        t.next = t.expr + 1
+        mem = d.memory("m", 2, 2, init=init)
+        mem.write(0).connect(addr=d.input("wa", 2), data=d.input("wd", 2),
+                             en=d.input("we", 1))
+        mem.read(0).connect(addr=t.expr, en=1)
+        d.invariant("p", d.const(1, 1))
+        assert forward_recurrence_diameter(d, max_depth=10) == 4
+
+    def test_agrees_with_engine_forward_proof_depth(self):
+        """The standalone computation must coincide with the depth at
+        which the engine's forward termination check fires."""
+        from repro.bmc import bmc3, verify
+
+        # Step-2 counter: reachable states {0, 2}; "c != 1" holds on
+        # them but fails at the unreachable 1, so the backward step
+        # cannot close before the forward termination does.
+        d = Design("cnt2s2")
+        c = d.latch("c", 2, init=0)
+        c.next = c.expr + 2
+        d.invariant("p", c.expr.ne(1))
+        diameter = forward_recurrence_diameter(d)
+        r = verify(d, "p", bmc3(max_depth=10, pba=False))
+        assert r.proved and r.method == "forward"
+        assert r.depth == diameter == 2

@@ -1,0 +1,232 @@
+"""Differential harness over the full encoder/option matrix.
+
+One harness instead of per-feature one-off tests (the modular-
+verification argument of RealityCheck, PAPERS.md): every encoder/option
+combination — {hybrid, gates} x {strash, addr_dedup, chain_share,
+hybrid_strash} on/off — is run on the same workloads and cross-checked
+
+* against the **explicit-model oracle**: the design with its memories
+  expanded into registers (``repro.design.explicit.expand_memories``)
+  verified without any EMM constraints.  Bounded falsification is
+  exactly comparable across models, so verdicts, counterexample depths
+  and trace validity must coincide at every depth;
+* against **each other** under induction + PBA: proof statuses, depths,
+  methods, and the accumulated latch/memory reason sets must be
+  identical across all option combinations of an encoding — options are
+  size optimisations and must be invisible to every observable outcome.
+
+Workloads are randomized small netlists (multi-port, recurring address
+cones, known/symbolic init — the shapes every option path bites on)
+plus the fifo/stack/cache case studies at shallow depth.  The expensive
+corners (the full 2^4 option cross-product, the deeper case-study
+sweeps) are marked ``slow`` for the nightly job.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bmc import BmcOptions, verify
+from repro.casestudies.cache import CacheParams, build_cache
+from repro.casestudies.fifo import FifoParams, build_fifo
+from repro.casestudies.stack_machine import StackMachineParams, build_stack_machine
+from repro.design import Design, expand_memories
+
+#: The option axes of the matrix, as BmcOptions kwargs.
+OPTION_AXES = ("strash", "emm_addr_dedup", "emm_chain_share",
+               "emm_hybrid_strash")
+
+#: Representative sub-matrix for per-push runs: everything on,
+#: everything off, and each axis toggled off alone.  The full
+#: cross-product runs nightly (`slow`).
+REPRESENTATIVE = [dict.fromkeys(OPTION_AXES, True),
+                  dict.fromkeys(OPTION_AXES, False)] + [
+    {axis: (axis != off) for axis in OPTION_AXES} for off in OPTION_AXES
+]
+
+FULL_MATRIX = [dict(zip(OPTION_AXES, bits))
+               for bits in itertools.product((True, False), repeat=4)]
+
+
+def random_netlist(seed):
+    """Random single-memory workload with recurring address cones.
+
+    Shapes chosen so every optimisation path fires somewhere across the
+    seeds: multi-write ports (disjoint parities, keeping the no-race
+    assumption), known and arbitrary initial memory, and addresses
+    drawn from constants, a shared input and a walking latch.
+    """
+    rng = random.Random(seed)
+    aw = rng.choice([2, 3])
+    dw = rng.choice([2, 3])
+    w_ports = rng.choice([1, 2])
+    r_ports = rng.choice([2, 3])
+    init = rng.choice([0, None, 3])
+    d = Design(f"rand{seed}")
+    t = d.latch("t", aw, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", aw, dw, read_ports=r_ports, write_ports=w_ports,
+                   init=init)
+    shared = d.input("sa", aw)
+    addr_pool = [lambda: d.const(rng.randrange(1 << aw), aw),
+                 lambda: shared,
+                 lambda: t.expr]
+    for w in range(w_ports):
+        en = d.input(f"we{w}", 1)
+        if w_ports > 1:
+            addr = d.input(f"wa{w}", aw)
+            en = en & addr[0].eq(w & 1)
+        else:
+            addr = rng.choice(addr_pool)()
+        mem.write(w).connect(addr=addr, data=d.input(f"wd{w}", dw), en=en)
+    for r in range(r_ports):
+        mem.read(r).connect(addr=rng.choice(addr_pool)(), en=1)
+    target = rng.randrange(1 << dw)
+    d.reach("hit", mem.read(0).data.eq(target))
+    return d, "hit"
+
+
+def falsify(design, prop, depth, **options):
+    return verify(design, prop,
+                  BmcOptions(find_proof=False, max_depth=depth, **options))
+
+
+def run_matrix(design, prop, depth, combos):
+    """Bounded falsification of every (encoding, combo) pair."""
+    out = {}
+    for encoding in ("hybrid", "gates"):
+        for combo in combos:
+            key = (encoding,) + tuple(sorted(combo.items()))
+            out[key] = falsify(design, prop, depth,
+                               emm_encoding=encoding, **combo)
+    return out
+
+
+def assert_oracle_parity(results, oracle, ctx):
+    """Every matrix run agrees with the explicit-model oracle."""
+    for key, r in results.items():
+        assert r.status == oracle.status, (ctx, key, r.status, oracle.status)
+        assert r.depth == oracle.depth, (ctx, key)
+        if r.status == "cex":
+            assert r.trace_validated is True, (ctx, key)
+            assert oracle.trace_validated is True, ctx
+            assert len(r.trace.cycles) == len(oracle.trace.cycles), (ctx, key)
+
+
+# ---------------------------------------------------------------------------
+# Randomized netlists vs the explicit oracle (representative sub-matrix).
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_netlists_match_explicit_oracle(seed):
+    design, prop = random_netlist(seed)
+    depth = 4
+    oracle = falsify(expand_memories(design), prop, depth, use_emm=False)
+    results = run_matrix(design, prop, depth, REPRESENTATIVE)
+    assert_oracle_parity(results, oracle, seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(6, 14))
+def test_random_netlists_full_matrix_nightly(seed):
+    """The full 2^4 option cross-product per encoding (nightly)."""
+    design, prop = random_netlist(seed)
+    depth = 5
+    oracle = falsify(expand_memories(design), prop, depth, use_emm=False)
+    results = run_matrix(design, prop, depth, FULL_MATRIX)
+    assert_oracle_parity(results, oracle, seed)
+
+
+# ---------------------------------------------------------------------------
+# Induction + PBA: options must be invisible within an encoding.
+# ---------------------------------------------------------------------------
+
+
+def prove_matrix(design, prop, depth, encoding, combos):
+    out = []
+    for combo in combos:
+        out.append((combo, verify(design, prop, BmcOptions(
+            find_proof=True, pba=True, max_depth=depth,
+            emm_encoding=encoding, **combo))))
+    return out
+
+
+def assert_observable_parity(runs, ctx):
+    (ref_combo, ref), rest = runs[0], runs[1:]
+    for combo, r in rest:
+        c = (ctx, ref_combo, combo)
+        assert r.status == ref.status, (c, r.status, ref.status)
+        assert r.depth == ref.depth, c
+        assert r.method == ref.method, c
+        assert r.trace_validated == ref.trace_validated, c
+        assert r.latch_reasons == ref.latch_reasons, c
+        assert r.memory_reasons == ref.memory_reasons, c
+
+
+@pytest.mark.parametrize("encoding", ["hybrid", "gates"])
+@pytest.mark.parametrize("seed", [1, 3, 5])
+def test_pba_reasons_invariant_across_options(seed, encoding):
+    design, prop = random_netlist(seed)
+    runs = prove_matrix(design, prop, 4, encoding, REPRESENTATIVE)
+    assert_observable_parity(runs, (seed, encoding))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("encoding", ["hybrid", "gates"])
+@pytest.mark.parametrize("seed", [0, 2, 4])
+def test_pba_reasons_full_matrix_nightly(seed, encoding):
+    design, prop = random_netlist(seed)
+    runs = prove_matrix(design, prop, 4, encoding, FULL_MATRIX)
+    assert_observable_parity(runs, (seed, encoding))
+
+
+# ---------------------------------------------------------------------------
+# Case studies at shallow depth: fifo / stack machine / cache.
+# ---------------------------------------------------------------------------
+
+
+def tiny_fifo():
+    return build_fifo(FifoParams(addr_width=2, data_width=2))
+
+
+def tiny_stack():
+    return build_stack_machine(StackMachineParams(addr_width=2, data_width=2))
+
+
+def tiny_cache():
+    return build_cache(CacheParams(index_width=1, tag_width=2, data_width=2))
+
+
+CASE_STUDIES = [
+    # (builder, property, depth) — a reachable witness and a bounded
+    # invariant per design keeps both verdict branches exercised.
+    (tiny_fifo, "can_fill", 6),
+    (tiny_fifo, "empty_full_exclusive", 5),
+    (tiny_stack, "can_reach_depth3", 4),
+    (tiny_stack, "sp_in_range", 4),
+    (tiny_cache, "reach_hit", 4),
+    (tiny_cache, "read_after_fill", 3),
+]
+
+
+@pytest.mark.parametrize("builder,prop,depth", CASE_STUDIES,
+                         ids=[f"{b.__name__}-{p}" for b, p, _ in CASE_STUDIES])
+def test_case_studies_match_explicit_oracle(builder, prop, depth):
+    design = builder()
+    oracle = falsify(expand_memories(design), prop, depth, use_emm=False)
+    results = run_matrix(design, prop, depth,
+                         [dict.fromkeys(OPTION_AXES, True),
+                          dict.fromkeys(OPTION_AXES, False)])
+    assert_oracle_parity(results, oracle, prop)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("builder,prop,depth", CASE_STUDIES,
+                         ids=[f"{b.__name__}-{p}" for b, p, _ in CASE_STUDIES])
+def test_case_studies_representative_matrix_nightly(builder, prop, depth):
+    design = builder()
+    oracle = falsify(expand_memories(design), prop, depth, use_emm=False)
+    results = run_matrix(design, prop, depth, REPRESENTATIVE)
+    assert_oracle_parity(results, oracle, prop)

@@ -2,7 +2,12 @@
 
 Section 3 and 4.1 give closed-form clause/gate counts; these tests assert
 the constraint generator emits *exactly* those numbers, which is the
-strongest evidence the encoding is the paper's encoding.
+strongest evidence the encoding is the paper's encoding.  The closed
+forms describe the hand-written CNF back-end, so :func:`run_frames` pins
+``hybrid_strash=False``; the AIG-routed default is covered by its own
+accounting regressions at the bottom (guard/prune counts, the per-frame
+plateau and the closed-form upper bounds of
+``accounting.hybrid_chain_clauses_per_read_port``).
 """
 
 import pytest
@@ -32,6 +37,9 @@ def make_port_design(aw, dw, r_ports, w_ports, init=0):
 
 
 def run_frames(design, depth, **emm_kwargs):
+    # The paper's closed forms count the raw-CNF back-end; the AIG-routed
+    # default books chain gates/triples instead (tested separately below).
+    emm_kwargs.setdefault("hybrid_strash", False)
     solver = Solver(proof=False)
     emitter = CnfEmitter(Aig(), solver)
     unroller = Unroller(design, emitter)
@@ -202,6 +210,110 @@ def test_const_vs_symbolic_uses_short_form():
     c = emm.counters
     assert c.addr_eq_clauses == accounting.addr_eq_clauses_const(aw)
     assert c.addr_eq_cache_hits == 0
+
+
+# -- AIG-routed hybrid back-end (hybrid_strash): accounting regressions ---
+
+
+def make_const_pair_design(aw=3, dw=3):
+    """Two reads pinned to distinct constant addresses, arbitrary init."""
+    d = Design("constpair")
+    t = d.latch("t", 2, init=0)
+    t.next = t.expr + 1
+    mem = d.memory("m", aw, dw, read_ports=2, write_ports=1, init=None)
+    mem.write(0).connect(addr=d.input("wa", aw), data=d.input("wd", dw),
+                         en=d.input("we", 1))
+    mem.read(0).connect(addr=d.const(1, aw), en=1)
+    mem.read(1).connect(addr=d.const(2, aw), en=1)
+    d.invariant("p", mem.read(0).data.ule((1 << dw) - 1))
+    return d
+
+
+class TestHybridStrashAccounting:
+    """Satellite regressions: the init-consistency guard/prune counters
+    must be exact and backend-independent, and the AIG-routed counters
+    must reconcile with the clauses that really reached the solver (no
+    double-booking through ``EmmCounters.frame_delta``)."""
+
+    @pytest.mark.parametrize("hybrid_strash", [True, False])
+    @pytest.mark.parametrize("depth", [1, 4, 7])
+    def test_guard_and_prune_counts_exact(self, depth, hybrid_strash):
+        """Two constant-address reads, depth d: two founding records
+        (one guard clause each), every later read merges (one guard
+        clause each, 2d total), and exactly the one cross-address
+        eq-(6) pair is pruned on its folded-FALSE comparator."""
+        emm = run_frames(make_const_pair_design(), depth,
+                         hybrid_strash=hybrid_strash)
+        c = emm.counters
+        assert c.init_records_merged == 2 * depth
+        assert c.init_guard_clauses == 2 + 2 * depth
+        assert c.init_pairs_pruned == 1
+        assert c.init_pairs == 0  # the only candidate pair was pruned
+
+    def test_backends_agree_on_init_counters(self):
+        """The init machinery is shared code: pins, guards, merges and
+        prunes must book identically under both chain back-ends."""
+        on = run_frames(make_const_pair_design(), 5, hybrid_strash=True)
+        off = run_frames(make_const_pair_design(), 5, hybrid_strash=False)
+        for key in ("init_guard_clauses", "init_pairs_pruned",
+                    "init_records_merged", "init_pin_clauses",
+                    "init_addr_eq_clauses", "init_consistency_clauses",
+                    "init_pairs"):
+            assert getattr(on.counters, key) == getattr(off.counters, key), key
+
+    @pytest.mark.parametrize("chain_share", [True, False])
+    def test_total_clauses_not_double_counted(self, chain_share):
+        """The counters reconcile with the clauses the EMM frames really
+        added to the solver: booked == added + absorbed.  The single
+        unbooked clause is the emitter's shared always-true unit
+        (label ``("const",)``), allocated inside the first EMM frame on
+        this constant-address workload — it belongs to the CNF
+        substrate, not to any memory's constraints."""
+        solver = Solver(proof=False)
+        emitter = CnfEmitter(Aig(), solver)
+        unroller = Unroller(make_const_pair_design(), emitter)
+        emm = EmmMemory(solver, unroller, "m", hybrid_strash=True,
+                        chain_share=chain_share)
+        emm_added = 0
+        for k in range(6):
+            unroller.add_frame()
+            before = solver.num_clauses
+            emm.add_frame(k)
+            emm_added += solver.num_clauses - before
+        c = emm.counters
+        assert c.total_clauses == (emm_added - 1) + c.absorbed
+        assert sum(f["clauses"] for f in c.per_frame) == c.total_clauses
+        assert sum(f["gates"] for f in c.per_frame) == c.total_gates
+
+    def test_per_frame_clauses_plateau_within_closed_form(self):
+        """Constant-address reads: per-frame new EMM clauses become a
+        constant bounded by the closed-form upper bound (two read
+        ports), while the raw back-end's per-frame clauses keep
+        growing."""
+        depth = 10
+        on = run_frames(make_const_pair_design(), depth, hybrid_strash=True)
+        off = run_frames(make_const_pair_design(), depth, hybrid_strash=False)
+        cls_on = [f["clauses"] for f in on.counters.per_frame]
+        cls_off = [f["clauses"] for f in off.counters.per_frame]
+        tail = cls_on[3:]
+        assert max(tail) == min(tail), cls_on
+        assert tail[0] <= 2 * accounting.hybrid_suffix_shared_frame_clauses(3, 3)
+        assert all(b > a for a, b in zip(cls_off[3:], cls_off[4:])), cls_off
+        assert on.counters.chain_suffix_hits > 0
+        assert off.counters.chain_suffix_hits == 0
+        assert off.counters.strash_hits == 0
+
+    def test_fresh_addresses_stay_within_upper_bound(self):
+        """No sharing to find: the per-frame clause bound of
+        ``hybrid_chain_clauses_per_read_port`` holds on fully symbolic
+        address cones (where the closed form is tightest)."""
+        depth = 5
+        design = make_port_design(3, 4, r_ports=1, w_ports=2, init=None)
+        emm = run_frames(design, depth, hybrid_strash=True,
+                         init_consistency=False)
+        for k, frame in enumerate(emm.counters.per_frame):
+            bound = accounting.hybrid_chain_clauses_per_read_port(k, 2, 3, 4)
+            assert frame["clauses"] <= bound, (k, frame["clauses"], bound)
 
 
 def test_dedup_off_reproduces_paper_counts_on_recurring_design():

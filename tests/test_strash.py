@@ -408,6 +408,10 @@ def test_depth_20_verdict_and_pba_parity():
 
 
 def run_hybrid_frames(design, depth, **kw):
+    # These regressions pin the raw back-end's per-pair gate shapes
+    # (3 raw CNF gates per live pair); the AIG-routed default prunes the
+    # same folded pairs through ``and_gate`` and is asserted separately.
+    kw.setdefault("hybrid_strash", False)
     solver = Solver(proof=False)
     emitter = CnfEmitter(Aig(), solver)
     unroller = Unroller(design, emitter)
@@ -475,3 +479,26 @@ class TestExclusivityFoldPruning:
         # leave the read pinned to the (zero) initial contents.
         expected = "cex" if read_addr == write_addr else "proof"
         assert on.status == expected
+
+    def test_aig_backend_false_fold_builds_no_chain(self):
+        """AIG back-end: a folded-FALSE comparator collapses the pair in
+        ``and_gate``, so the whole chain (and its lowered CNF) vanishes —
+        the routed equivalent of the raw back-end's dead-pair skip."""
+        on = run_hybrid_frames(const_addr_design(1, 2), 4,
+                               hybrid_strash=True).counters
+        assert on.excl_gates == 0
+        assert on.addr_eq_folded == 1
+        assert on.addr_eq_clauses == 0
+
+    def test_aig_backend_true_fold_reuses_write_enable(self):
+        """AIG back-end: a folded-TRUE comparator makes s the aliased
+        write enable via constant folding (zero gates for the match
+        signal; only the chain/mux structure remains)."""
+        on = run_hybrid_frames(const_addr_design(5, 5), 1,
+                               hybrid_strash=True).counters
+        # Depth 1, one live pair, dw=2: the no-match and fall-through
+        # ANDs fold into the aliased literals (RE is constant) and each
+        # data-bit mux against the constant-0 init seed folds to the
+        # single ``WE ∧ WD`` gate — one AND per data bit survives.
+        assert on.excl_gates == 2
+        assert on.strash_folds > 0
