@@ -1,0 +1,118 @@
+"""Experiment C6 — shared encoding sessions and the sharded service.
+
+Quantifies what the EncodingSession/scheduler split buys on a
+multi-property design (the Industry II analog, 8 reachability
+properties over one 3-read-port memory):
+
+* **C6** — N properties on one shared session encode one unrolled CNF;
+  the CI gate asserts the shared session's total solver clauses+vars
+  stay strictly below the *sum* of N per-property fresh engines, with
+  verdict parity per property.  Wall-clock is reported but not gated —
+  pure-Python solve times are too noisy for CI thresholds.
+* **C6b** — the :class:`repro.service.VerificationService` front-end at
+  ``jobs=1`` (inline, shared cache) and ``jobs=2`` (process pool, one
+  session cache per worker), report-only wall-clock plus a verdict
+  parity check between the two.
+"""
+
+import time
+
+from benchmarks import common
+from repro.bmc import BmcOptions, EncodingSession, verify, verify_many
+from repro.casestudies.multiport_soc import (MultiportSocParams,
+                                             build_multiport_soc)
+from repro.service import VerificationService
+
+common.table(
+    "C6 — shared session vs per-property fresh engines (multiport SoC)",
+    ["props", "depth", "shared cls+vars", "fresh sum", "ratio",
+     "shared wall", "fresh wall"],
+    note="one EncodingSession serves all properties (each adds only its "
+         "P_i literals); 'fresh sum' totals N independent engines.  The "
+         "clauses+vars ratio is the CI gate; wall-clock is report-only",
+)
+
+common.table(
+    "C6b — verification service wall-clock (report-only)",
+    ["props", "depth", "jobs", "wall", "statuses"],
+    note="jobs=1 runs inline on one SessionCache; jobs=2 shards "
+         "properties across worker processes with per-worker caches",
+)
+
+#: CI-friendly scale of the Industry II analog; the paper's AW=12/DW=32
+#: shape is exercised by bench_industry2.py.
+SOC = MultiportSocParams(addr_width=3, data_width=4, counter_width=3,
+                         num_properties=4)
+
+#: Module-level so the service can pickle it for worker processes.
+def build_soc():
+    return build_multiport_soc(SOC)
+
+
+OPTS = BmcOptions(find_proof=True, pba=False, max_depth=6)
+
+
+def bench_session_sharing(benchmark):
+    """CI gate: shared-session clauses+vars < sum of fresh engines."""
+    names = sorted(build_soc().properties)
+
+    def run():
+        design = build_soc()
+        session = EncodingSession(design, OPTS)
+        t0 = time.monotonic()
+        shared = verify_many(design, options=OPTS, session=session)
+        t_shared = time.monotonic() - t0
+        shared_size = session.clause_var_total()
+        fresh = {}
+        fresh_sum = 0
+        t0 = time.monotonic()
+        for name in names:
+            r = verify(build_soc(), name, OPTS)
+            fresh[name] = r
+            fresh_sum += r.stats.sat_clauses + r.stats.sat_vars
+        t_fresh = time.monotonic() - t0
+        return shared, shared_size, t_shared, fresh, fresh_sum, t_fresh
+
+    shared, shared_size, t_shared, fresh, fresh_sum, t_fresh = \
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, r in shared.items():
+        f = fresh[name]
+        assert (r.status, r.depth, r.method) == \
+            (f.status, f.depth, f.method), name
+    assert shared_size < fresh_sum, (
+        f"shared session did not amortize the encoding: "
+        f"{shared_size} clauses+vars vs {fresh_sum} across "
+        f"{len(names)} fresh engines")
+    ratio = shared_size / fresh_sum
+    benchmark.extra_info["num_properties"] = len(names)
+    benchmark.extra_info["shared_clauses_vars"] = shared_size
+    benchmark.extra_info["fresh_sum_clauses_vars"] = fresh_sum
+    benchmark.extra_info["share_ratio"] = round(ratio, 4)
+    common.add_row(
+        "C6 — shared session vs per-property fresh engines (multiport SoC)",
+        len(names), OPTS.max_depth, shared_size, fresh_sum, f"{ratio:.1%}",
+        f"{t_shared:.1f}s", f"{t_fresh:.1f}s")
+
+
+def bench_service_jobs(benchmark):
+    """Inline vs pooled service runs agree; wall-clock is report-only."""
+
+    def run():
+        out = {}
+        for jobs in (1, 2):
+            t0 = time.monotonic()
+            with VerificationService(build_soc, OPTS, jobs=jobs) as svc:
+                results = svc.run()
+            out[jobs] = (time.monotonic() - t0, results)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    (t1, r1), (t2, r2) = out[1], out[2]
+    verdicts = {n: (r.status, r.depth) for n, r in r1.items()}
+    assert verdicts == {n: (r.status, r.depth) for n, r in r2.items()}
+    benchmark.extra_info["wall_jobs1_s"] = round(t1, 3)
+    benchmark.extra_info["wall_jobs2_s"] = round(t2, 3)
+    statuses = ",".join(f"{n}={s}" for n, (s, _) in sorted(verdicts.items()))
+    for jobs, t in ((1, t1), (2, t2)):
+        common.add_row("C6b — verification service wall-clock (report-only)",
+                       len(r1), OPTS.max_depth, jobs, f"{t:.1f}s", statuses)

@@ -15,12 +15,15 @@ All three are served by :class:`repro.bmc.engine.BmcEngine` through
 :func:`bmc3` mirror the paper's figures exactly.
 """
 
-from repro.bmc.engine import BmcEngine, BmcOptions, bmc1, bmc2, bmc3, verify
+from repro.bmc.engine import (BmcEngine, BmcOptions, bmc1, bmc2, bmc3,
+                              verify, verify_many)
 from repro.bmc.results import BmcResult, BmcRunStats
+from repro.bmc.session import EncodingSession, SessionCache
 from repro.bmc.shrink import ShrinkResult, TraceShrinker, shrink_trace
 from repro.bmc.diameter import forward_recurrence_diameter
 
 __all__ = ["BmcEngine", "BmcOptions", "BmcResult", "BmcRunStats",
-           "bmc1", "bmc2", "bmc3", "verify",
+           "EncodingSession", "SessionCache",
+           "bmc1", "bmc2", "bmc3", "verify", "verify_many",
            "ShrinkResult", "TraceShrinker", "shrink_trace",
            "forward_recurrence_diameter"]

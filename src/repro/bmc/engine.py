@@ -1,13 +1,24 @@
-"""The BMC engine: Figures 1, 2 and 3 of the paper as one configurable loop.
+"""The BMC check scheduler: Figures 1, 2 and 3 of the paper as one loop.
 
-The engine owns a single incremental SAT solver.  Initial-state clauses
-and loop-free-path clauses carry activation literals (``a_init``,
-``a_lfp``) so the three checks of BMC-3 become assumption sets over the
-same growing CNF:
+The encoding lives in :class:`repro.bmc.session.EncodingSession` — one
+incremental solver whose initial-state and loop-free-path clauses carry
+activation literals (``a_init``, ``a_lfp``, ``a_meminit``).  The engine
+is the *scheduler* on top: it walks depths and runs the three checks of
+BMC-3 as assumption sets over the session's growing CNF:
 
-* forward termination   — assume ``[a_init, a_lfp]``                (line 6)
-* backward termination  — assume ``[a_lfp, P_0..P_{i-1}, !P_i]``    (line 7)
+* forward termination   — assume ``[a_init, LFP_i]``                (line 6)
+* backward termination  — assume ``[LFP_i, P_0..P_{i-1}, !P_i]``    (line 7)
 * falsification         — assume ``[a_init, !P_i]``                 (line 9)
+
+``LFP_i`` is the list of *per-frame* loop-free-path guards for frames
+``<= i`` (:meth:`EncodingSession.lfp_assumptions`) — never a global
+literal, which on a shared session would force loop-freedom over frames
+a sibling property encoded beyond i.
+
+Because checks are pure assumption sets, several engines (one per
+property) may share one session — N properties pay for one unrolled
+CNF.  A fresh engine on a fresh session reproduces the historical
+monolithic behaviour bit-for-bit.
 
 Proof-based abstraction (lines 11-12) reads the provenance labels of the
 unsat core of each falsification check and accumulates latch reasons.
@@ -20,15 +31,10 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.aig.aig import Aig
-from repro.aig.tseitin import CnfEmitter
 from repro.bmc.counterexample import extract_trace
-from repro.bmc.induction import LoopFreeConstraints
 from repro.bmc.results import BOUNDED, CEX, PROOF, TIMEOUT, BmcResult, BmcRunStats
-from repro.bmc.unroller import Unroller
+from repro.bmc.session import EncodingSession
 from repro.design.netlist import Design
-from repro.emm.forwarding import EmmMemory
-from repro.sat.solver import Solver
 
 
 @dataclass(frozen=True)
@@ -95,9 +101,33 @@ class BmcOptions:
     shared_init_memories: tuple[frozenset[str], ...] = ()
     #: Replay counterexamples on the simulator when the model is concrete.
     validate_cex: bool = True
-    #: Abort knobs.
+    #: Abort knobs.  ``timeout_s`` is enforced *inside* checks: the
+    #: remaining wall time becomes a per-``solve()`` deadline the CDCL
+    #: loop polls on stepped conflict counts, so one hard check cannot
+    #: blow through the budget; ``BmcRunStats.limit_tripped`` records
+    #: which limit actually fired.
     timeout_s: Optional[float] = None
     max_conflicts_per_check: Optional[int] = None
+
+    def encoding_key(self) -> tuple:
+        """Hashable key of every field that shapes the *encoding*.
+
+        Two options values with equal keys produce literal-for-literal
+        identical sessions, so a cached session may serve either; the
+        per-run knobs (``max_depth``, ``timeout_s``,
+        ``max_conflicts_per_check``, ``validate_cex``) are excluded.
+        """
+        ports = self.kept_read_ports
+        ports_key = (None if ports is None else
+                     tuple(sorted((name, tuple(sorted(idx)))
+                                  for name, idx in ports.items())))
+        groups_key = tuple(sorted(tuple(sorted(g))
+                                  for g in self.shared_init_memories))
+        return (self.find_proof, self.pba, self.use_emm, self.exclusivity,
+                self.emm_encoding, self.init_consistency,
+                self.emm_addr_dedup, self.strash, self.emm_chain_share,
+                self.emm_hybrid_strash, self.kept_latches,
+                self.kept_memories, ports_key, groups_key)
 
 
 def bmc1(**kw) -> BmcOptions:
@@ -125,103 +155,120 @@ def bmc3(**kw) -> BmcOptions:
 
 
 class BmcEngine:
-    """Verifies one property of one design under one configuration."""
+    """Schedules the checks for one property against an encoding session.
+
+    Without an explicit ``session`` the engine builds a private one —
+    the historical one-engine-per-property behaviour.  With a shared
+    session, the engine runs its checks over the session's CNF; any
+    number of engines (one per property) may interleave on one session
+    as long as their options agree on
+    :meth:`BmcOptions.encoding_key`.
+    """
 
     def __init__(self, design: Design, property_name: str,
-                 options: Optional[BmcOptions] = None) -> None:
-        design.validate()
-        self.design = design
-        self.options = options or BmcOptions()
-        self.prop = design.properties[property_name]
-        if design.memories and not self.options.use_emm:
-            raise ValueError(
-                "design has memories but use_emm=False; expand them first "
-                "(repro.design.expand_memories) for the explicit baseline")
-        need_proof_log = self.options.pba
-        self.solver = Solver(proof=need_proof_log)
-        self.aig = Aig(strash=self.options.strash)
-        self.emitter = CnfEmitter(self.aig, self.solver,
-                                  strash=self.options.strash)
-        self.unroller = Unroller(design, self.emitter, self.options.kept_latches)
-        self.a_init = self.solver.new_var()
-        self.a_lfp = self.solver.new_var()
-        self.a_meminit = self.solver.new_var()
-        kept_mems = (frozenset(design.memories)
-                     if self.options.kept_memories is None
-                     else frozenset(self.options.kept_memories))
-        self.kept_memories = kept_mems
-        port_map = self.options.kept_read_ports or {}
-        registries = self._shared_init_registries(kept_mems)
-        if self.options.emm_encoding == "hybrid":
-            emm_class = EmmMemory
-        elif self.options.emm_encoding == "gates":
-            from repro.emm.gates import GateEmmMemory
-            emm_class = GateEmmMemory
+                 options: Optional[BmcOptions] = None,
+                 session: Optional[EncodingSession] = None) -> None:
+        if session is None:
+            session = EncodingSession(design, options)
         else:
-            raise ValueError(
-                f"unknown emm_encoding {self.options.emm_encoding!r} "
-                "(expected 'hybrid' or 'gates')")
-        self.emms = {
-            name: emm_class(self.solver, self.unroller, name,
-                            exclusivity=self.options.exclusivity,
-                            init_consistency=self.options.init_consistency,
-                            symbolic_init=self.options.find_proof,
-                            a_meminit=self.a_meminit,
-                            kept_read_ports=port_map.get(name),
-                            init_registry=registries.get(name),
-                            addr_dedup=self.options.emm_addr_dedup,
-                            chain_share=self.options.emm_chain_share,
-                            hybrid_strash=self.options.emm_hybrid_strash)
-            for name in sorted(kept_mems)
-        }
-        self.lfp = (LoopFreeConstraints(self.unroller, self.a_lfp)
-                    if self.options.find_proof else None)
-        # P_i literals (the property holding at frame i).
-        self._p_lits: list[int] = []
+            opts = options or session.options
+            if opts.encoding_key() != session.options.encoding_key():
+                raise ValueError(
+                    "engine options disagree with the shared session's "
+                    "encoding (see BmcOptions.encoding_key)")
+            if design is not session.design:
+                raise ValueError(
+                    "shared session belongs to a different Design object; "
+                    "schedule against session.design")
+        self.session = session
+        self.design = session.design
+        self.options = options or session.options
+        self.prop = self.design.properties[property_name]
+        # Per-run PBA reason accumulators (engine-local; the session is
+        # shared, the reasons are this property's).
         self._lr: list[frozenset[str]] = []
         self._mr: list[frozenset[str]] = []
 
-    def _shared_init_registries(self, kept_mems: frozenset[str]) -> dict:
-        """One shared fall-through read registry per shared-init group."""
-        from repro.emm.forwarding import InitReadRegistry
+    # -- session views (the extraction/PBA layers address the engine) ------
 
-        registries: dict[str, InitReadRegistry] = {}
-        for group in self.options.shared_init_memories:
-            widths = set()
-            shared = InitReadRegistry()
-            for name in sorted(group):
-                mem = self.design.memories.get(name)
-                if mem is None:
-                    raise ValueError(f"shared-init memory {name!r} not in design")
-                widths.add((mem.addr_width, mem.data_width))
-                if name in registries:
-                    raise ValueError(f"memory {name!r} is in two shared-init groups")
-                if name in kept_mems:
-                    registries[name] = shared
-            if len(widths) > 1:
-                raise ValueError(
-                    f"shared-init group {sorted(group)} mixes geometries {widths}")
-        return registries
+    @property
+    def solver(self):
+        return self.session.solver
+
+    @property
+    def aig(self):
+        return self.session.aig
+
+    @property
+    def emitter(self):
+        return self.session.emitter
+
+    @property
+    def unroller(self):
+        return self.session.unroller
+
+    @property
+    def emms(self):
+        return self.session.emms
+
+    @property
+    def kept_memories(self) -> frozenset[str]:
+        return self.session.kept_memories
+
+    @property
+    def a_init(self) -> int:
+        return self.session.a_init
+
+    @property
+    def a_lfp(self) -> int:
+        return self.session.a_lfp
+
+    @property
+    def a_meminit(self) -> int:
+        return self.session.a_meminit
 
     # -- main loop ---------------------------------------------------------
 
-    def run(self, stop_check=None) -> BmcResult:
+    def run(self, stop_check=None,
+            window: Optional[tuple[int, int]] = None) -> BmcResult:
         """Run the BMC loop up to ``max_depth``; returns a :class:`BmcResult`.
 
         ``stop_check(engine, depth)`` may end the loop early (status
         BOUNDED) — the PBA driver uses it to stop once the latch-reason
         set has been stable for the stability depth.
+
+        ``window=(lo, hi)`` restricts which depths are *checked* (the
+        service layer shards depth ranges across workers); frames below
+        ``lo`` are still encoded — soundness of a check at depth i never
+        depends on earlier checks, only on the encoding.
         """
         opts = self.options
+        lo, hi = (0, opts.max_depth) if window is None else window
+        if not 0 <= lo <= hi:
+            raise ValueError(f"bad depth window ({lo}, {hi})")
+        session = self.session
+        solver = session.solver
+        prop_name = self.prop.name
         stats = BmcRunStats()
         t_start = time.monotonic()
+        deadline = (t_start + opts.timeout_s
+                    if opts.timeout_s is not None else None)
         budget = opts.max_conflicts_per_check
-        for i in range(opts.max_depth + 1):
+
+        def solve(assumps):
+            r = solver.solve(assumps, budget, deadline)
+            if r.unknown:
+                stats.limit_tripped = ("wall" if r.limit == "deadline"
+                                       else "conflicts")
+            return r
+
+        for i in range(lo, hi + 1):
             t_depth = time.monotonic()
-            self._extend(i)
+            session.extend_to(i)
+            p = session.p_lits(prop_name, i)
             if opts.find_proof:
-                r = self.solver.solve(
-                    [self.a_init, self.a_meminit, self.a_lfp], budget)
+                lfp = session.lfp_assumptions(i)
+                r = solve([session.a_init, session.a_meminit] + lfp)
                 if r.unknown:
                     return self._finish(TIMEOUT, i, stats, t_start, t_depth)
                 if not r.sat:
@@ -230,15 +277,14 @@ class BmcEngine:
                 # Backward induction: arbitrary start state, so neither
                 # a_init nor a_meminit is assumed — the memory fall-through
                 # stays symbolic (Section 4.2).
-                assumps = [self.a_lfp] + self._p_lits[:i] + [-self._p_lits[i]]
-                r = self.solver.solve(assumps, budget)
+                assumps = lfp + p[:i] + [-p[i]]
+                r = solve(assumps)
                 if r.unknown:
                     return self._finish(TIMEOUT, i, stats, t_start, t_depth)
                 if not r.sat:
                     return self._finish(PROOF, i, stats, t_start, t_depth,
                                         method="backward")
-            r = self.solver.solve([self.a_init, self.a_meminit,
-                                   -self._p_lits[i]], budget)
+            r = solve([session.a_init, session.a_meminit, -p[i]])
             if r.unknown:
                 return self._finish(TIMEOUT, i, stats, t_start, t_depth)
             if r.sat:
@@ -252,41 +298,12 @@ class BmcEngine:
             stats.time_per_depth.append(time.monotonic() - t_depth)
             if stop_check is not None and stop_check(self, i):
                 return self._finish(BOUNDED, i, stats, t_start, None)
-            if opts.timeout_s is not None and time.monotonic() - t_start > opts.timeout_s:
+            if deadline is not None and time.monotonic() > deadline:
+                stats.limit_tripped = "wall"
                 return self._finish(TIMEOUT, i, stats, t_start, None)
-        return self._finish(BOUNDED, opts.max_depth, stats, t_start, None)
+        return self._finish(BOUNDED, hi, stats, t_start, None)
 
     # -- helpers -------------------------------------------------------------
-
-    def _extend(self, i: int) -> None:
-        """Unroll frame i and add init / EMM / LFP constraints and P_i."""
-        un = self.unroller
-        un.add_frame()
-        if i == 0:
-            self._add_init_clauses()
-        for emm in self.emms.values():
-            emm.add_frame(i)
-        if self.lfp is not None:
-            self.lfp.add_frame(i)
-        self.emitter.set_label(("gate", i))
-        good = self.unroller.lit(self.prop.expr, i)
-        p_lit = self.emitter.sat_lit(good)
-        if self.prop.kind == "reach":
-            p_lit = -p_lit  # P = "target not yet reached"
-        self._p_lits.append(p_lit)
-
-    def _add_init_clauses(self) -> None:
-        emitter = self.emitter
-        for name in sorted(self.unroller.kept_latches):
-            latch = self.design.latches[name]
-            if latch.init is None:
-                continue  # arbitrary initial value: leave free
-            word = self.unroller.latch_word(name, 0)
-            emitter.set_label(("init", name))
-            for b in range(latch.width):
-                lit = emitter.sat_lit(word[b])
-                bit = (latch.init >> b) & 1
-                emitter.add_clause([-self.a_init, lit if bit else -lit])
 
     def _collect_reasons(self, i: int) -> None:
         labels = self.solver.core_labels()
@@ -305,33 +322,37 @@ class BmcEngine:
         """Build the result.  ``t_depth`` is the final depth's start time
         when its duration has not been appended yet, or None when the run
         loop already recorded it (keeps ``len(time_per_depth) == depth+1``).
+
+        Size/effort counters are *session-wide*: on a shared session they
+        reflect the one CNF all properties amortize, which is exactly
+        what the C6 bench compares against per-property fresh engines.
         """
+        session = self.session
         if t_depth is not None:
             stats.time_per_depth.append(time.monotonic() - t_depth)
         stats.wall_time_s = time.monotonic() - t_start
         stats.sat_vars = self.solver.num_vars
         stats.sat_clauses = self.solver.num_clauses
         stats.solver = self.solver.stats.snapshot()
-        stats.emm_clauses = sum(e.counters.total_clauses for e in self.emms.values())
-        stats.emm_gates = sum(e.counters.total_gates for e in self.emms.values())
-        stats.emm_vars = sum(e.counters.vars_added for e in self.emms.values())
+        emms = session.emms.values()
+        stats.emm_clauses = sum(e.counters.total_clauses for e in emms)
+        stats.emm_gates = sum(e.counters.total_gates for e in emms)
+        stats.emm_vars = sum(e.counters.vars_added for e in emms)
         stats.emm_addr_eq_cache_hits = sum(e.counters.addr_eq_cache_hits
-                                           for e in self.emms.values())
+                                           for e in emms)
         stats.emm_addr_eq_folded = sum(e.counters.addr_eq_folded
-                                       for e in self.emms.values())
+                                       for e in emms)
         stats.emm_chain_suffix_hits = sum(e.counters.chain_suffix_hits
-                                          for e in self.emms.values())
+                                          for e in emms)
         stats.emm_init_pairs_pruned = sum(e.counters.init_pairs_pruned
-                                          for e in self.emms.values())
+                                          for e in emms)
         stats.emm_init_records_merged = sum(e.counters.init_records_merged
-                                            for e in self.emms.values())
-        stats.emm_strash_hits = sum(e.counters.strash_hits
-                                    for e in self.emms.values())
-        stats.emm_strash_folds = sum(e.counters.strash_folds
-                                     for e in self.emms.values())
-        stats.strash_hits = self.aig.strash_hits + self.emitter.strash_hits
-        stats.strash_folds = self.aig.strash_folds
-        stats.aig_nodes = self.aig.num_ands
+                                            for e in emms)
+        stats.emm_strash_hits = sum(e.counters.strash_hits for e in emms)
+        stats.emm_strash_folds = sum(e.counters.strash_folds for e in emms)
+        stats.strash_hits = session.aig.strash_hits + session.emitter.strash_hits
+        stats.strash_folds = session.aig.strash_folds
+        stats.aig_nodes = session.aig.num_ands
         stats.peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
         trace = None
         validated = None
@@ -363,11 +384,31 @@ class BmcEngine:
 
     def is_concrete(self) -> bool:
         """True when no latch or memory has been abstracted away."""
-        return (self.unroller.kept_latches == frozenset(self.design.latches)
-                and self.kept_memories == frozenset(self.design.memories))
+        return self.session.is_concrete()
 
 
 def verify(design: Design, property_name: str,
            options: Optional[BmcOptions] = None) -> BmcResult:
     """One-call convenience wrapper: build an engine and run it."""
     return BmcEngine(design, property_name, options).run()
+
+
+def verify_many(design: Design, property_names=None,
+                options: Optional[BmcOptions] = None,
+                session: Optional[EncodingSession] = None,
+                ) -> dict[str, BmcResult]:
+    """Verify several properties over **one** shared encoding session.
+
+    The first property pays for the unrolled CNF; every further property
+    reuses it (plus the solver's learned clauses) and adds only its own
+    ``P_i`` literals.  Verdicts are identical to per-property
+    :func:`verify` runs — checks are assumption sets, invisible to each
+    other.  ``property_names`` defaults to all properties, sorted.
+    """
+    if session is None:
+        session = EncodingSession(design, options)
+    names = (sorted(design.properties) if property_names is None
+             else list(property_names))
+    return {name: BmcEngine(session.design, name, options,
+                            session=session).run()
+            for name in names}

@@ -60,10 +60,19 @@ class BmcRunStats:
     #: AND nodes in the final AIG (after strashing, when enabled).
     aig_nodes: int = 0
     peak_rss_mb: float = 0.0
+    #: Which abort limit fired on a TIMEOUT outcome: ``"wall"``
+    #: (``BmcOptions.timeout_s``, enforced as an in-check deadline) or
+    #: ``"conflicts"`` (``max_conflicts_per_check``); None when no limit
+    #: tripped.
+    limit_tripped: Optional[str] = None
 
     def summary(self) -> str:
         return (f"{self.wall_time_s:.2f}s, {self.sat_vars} vars, "
                 f"{self.sat_clauses} clauses, {self.peak_rss_mb:.0f} MB peak")
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__, solver=dict(self.solver),
+                    time_per_depth=list(self.time_per_depth))
 
 
 @dataclass
@@ -90,6 +99,25 @@ class BmcResult:
     @property
     def falsified(self) -> bool:
         return self.status == CEX
+
+    def to_dict(self) -> dict:
+        """JSON-ready form — what service workers and ``--json`` emit.
+
+        Frozensets become sorted lists so the output is deterministic and
+        round-trippable; the trace uses :meth:`repro.sim.trace.Trace.to_dict`.
+        """
+        return {
+            "status": self.status,
+            "property_name": self.property_name,
+            "property_kind": self.property_kind,
+            "depth": self.depth,
+            "method": self.method,
+            "trace": None if self.trace is None else self.trace.to_dict(),
+            "trace_validated": self.trace_validated,
+            "latch_reasons": [sorted(r) for r in self.latch_reasons],
+            "memory_reasons": [sorted(r) for r in self.memory_reasons],
+            "stats": self.stats.to_dict(),
+        }
 
     def describe(self) -> str:
         """Human wording adjusted for the property kind."""

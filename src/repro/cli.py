@@ -17,10 +17,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import functools
+import json
 import sys
 from typing import Callable
 
-from repro.bmc.engine import BmcOptions, verify
+from repro.bmc.engine import BmcOptions, verify, verify_many
 from repro.bmc.shrink import shrink_trace
 from repro.casestudies import (CpuParams, FifoParams, ImageFilterParams,
                                MultiportSocParams, QuicksortParams,
@@ -127,41 +129,73 @@ def cmd_info(args) -> int:
     return 0
 
 
-def cmd_verify(args) -> int:
+def _verify_design(args) -> Design:
+    """The design ``verify`` actually runs on (module-level: picklable
+    as a service design factory via ``functools.partial``)."""
     design = _build(args)
     if args.engine == "explicit":
         design = expand_memories(design)
-        options = BmcOptions(use_emm=False, find_proof=not args.no_proof,
-                             max_depth=args.max_depth,
-                             strash=not args.no_strash,
-                             timeout_s=args.timeout)
-    else:
-        options = BmcOptions(use_emm=True,
-                             find_proof=(args.engine != "bmc2") and not args.no_proof,
-                             max_depth=args.max_depth,
-                             exclusivity=not args.no_exclusivity,
-                             init_consistency=not args.no_init_consistency,
-                             emm_addr_dedup=not args.no_addr_dedup,
-                             strash=not args.no_strash,
-                             emm_chain_share=not args.no_chain_share,
-                             emm_hybrid_strash=not args.no_hybrid_strash,
-                             timeout_s=args.timeout)
+    return design
+
+
+def _verify_options(args) -> BmcOptions:
+    if args.engine == "explicit":
+        return BmcOptions(use_emm=False, find_proof=not args.no_proof,
+                          max_depth=args.max_depth,
+                          strash=not args.no_strash,
+                          timeout_s=args.timeout)
+    return BmcOptions(use_emm=True,
+                      find_proof=(args.engine != "bmc2") and not args.no_proof,
+                      max_depth=args.max_depth,
+                      exclusivity=not args.no_exclusivity,
+                      init_consistency=not args.no_init_consistency,
+                      emm_addr_dedup=not args.no_addr_dedup,
+                      strash=not args.no_strash,
+                      emm_chain_share=not args.no_chain_share,
+                      emm_hybrid_strash=not args.no_hybrid_strash,
+                      timeout_s=args.timeout)
+
+
+def cmd_verify(args) -> int:
+    design = _verify_design(args)
+    options = _verify_options(args)
     props = [args.property] if args.property else sorted(design.properties)
+    if len(props) == 1:
+        # Single property: the historical direct path (same engine, same
+        # encoding; nothing to share).
+        results = {props[0]: verify(design, props[0], options)}
+    elif args.jobs > 1:
+        from repro.service import VerificationService
+
+        factory = functools.partial(_verify_design, args)
+        with VerificationService(factory, options, jobs=args.jobs) as svc:
+            results = svc.run(props)
+    else:
+        # Sequential verify-all: one shared encoding session for every
+        # property instead of a fresh engine per property.
+        results = verify_many(design, props, options)
     status = 0
+    json_out = []
     for name in props:
-        result = verify(design, name, options)
-        print(result.describe())
+        result = results[name]
+        if args.json:
+            json_out.append(result.to_dict())
+        else:
+            print(result.describe())
         trace = result.trace
         if trace is not None and args.shrink and result.trace_validated:
             shrunk = shrink_trace(design, name, trace)
-            print(f"shrunk: {shrunk.applied}/{shrunk.attempted} "
-                  f"simplifications held, failure at cycle "
-                  f"{shrunk.failure_cycle}")
+            if not args.json:
+                print(f"shrunk: {shrunk.applied}/{shrunk.attempted} "
+                      f"simplifications held, failure at cycle "
+                      f"{shrunk.failure_cycle}")
             trace = shrunk.trace
-        if args.show_trace and trace is not None:
+        if args.show_trace and trace is not None and not args.json:
             print(trace.format_table())
         if result.status not in ("proof", "cex"):
             status = 1
+    if args.json:
+        print(json.dumps(json_out, indent=2))
     return status
 
 
@@ -288,6 +322,12 @@ def main(argv=None) -> int:
     p_verify.add_argument("--show-trace", action="store_true")
     p_verify.add_argument("--shrink", action="store_true",
                           help="minimize counterexample traces")
+    p_verify.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for multi-property "
+                               "verification (1 = in-process on one "
+                               "shared encoding session)")
+    p_verify.add_argument("--json", action="store_true",
+                          help="machine-readable results (one JSON array)")
 
     p_pba = sub.add_parser("pba", help="run the EMM+PBA flow")
     _add_design_args(p_pba)

@@ -151,3 +151,28 @@ def check_equivalence(a: Design, b: Design,
     if share_arbitrary_init:
         opts = replace(opts, shared_init_memories=shared_init_groups(a, b))
     return BmcEngine(miter, "equiv", opts).run()
+
+
+def diagnose_equivalence(a: Design, b: Design,
+                         outputs: Sequence[tuple[Expr, Expr]],
+                         max_depth: int = 20,
+                         share_arbitrary_init: bool = False,
+                         options=None):
+    """Per-output-pair verdicts ``{"equiv_i": BmcResult}`` on one session.
+
+    Where :func:`check_equivalence` answers "are they equal" with the
+    conjoined ``equiv`` invariant, this checks every ``equiv_i``
+    separately — the miter is unrolled *once* into a shared encoding
+    session and each pair costs only its own property literals and
+    solves, so localizing which outputs diverge is barely more expensive
+    than the single combined check.
+    """
+    from repro.bmc.engine import BmcOptions, verify_many
+
+    miter = build_miter(a, b, outputs)
+    base = options or BmcOptions()
+    opts = replace(base, max_depth=max_depth, find_proof=False, pba=False)
+    if share_arbitrary_init:
+        opts = replace(opts, shared_init_memories=shared_init_groups(a, b))
+    names = [f"equiv_{i}" for i in range(len(outputs))]
+    return verify_many(miter, names, opts)

@@ -8,6 +8,7 @@ a malformed design fails fast, not inside the SAT solver.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Mapping, Optional, Union
 
 ExprLike = Union["Expr", int]
@@ -485,6 +486,70 @@ class Design:
         for p in ports:
             visit(p)
         return order
+
+    # -- identity ----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the design's semantics.
+
+        Covers inputs, latches (width/init/next), memories (geometry,
+        init, init words, port wiring) and properties, with expressions
+        hashed structurally — so the digest is independent of declaration
+        order, construction history and process identity (unlike
+        ``id()``-based keys), but changes whenever any semantic detail
+        does.  This is the session-cache key
+        (:class:`repro.bmc.session.SessionCache`): equal fingerprints
+        mean the same verification problem.
+        """
+        # Per-node digests, memoized on the hash-consed node id: shared
+        # sub-DAGs are hashed once, so the walk is linear in unique nodes
+        # rather than exponential in sharing depth.
+        memo: dict[int, str] = {}
+
+        def digest(e: Optional[Expr]) -> str:
+            if e is None:
+                return "-"
+            if e._id not in memo:
+                stack = [e]
+                while stack:
+                    n = stack[-1]
+                    if n._id in memo:
+                        stack.pop()
+                        continue
+                    pending = [a for a in n.args if a._id not in memo]
+                    if pending:
+                        stack.extend(pending)
+                        continue
+                    stack.pop()
+                    h = hashlib.sha256(repr(
+                        (n.kind, n.width, n.payload,
+                         tuple(memo[a._id] for a in n.args))).encode())
+                    memo[n._id] = h.hexdigest()
+            return memo[e._id]
+
+        parts = [f"design {self.name}"]
+        for name in sorted(self.inputs):
+            parts.append(f"input {name} {self.inputs[name].width}")
+        for name in sorted(self.latches):
+            latch = self.latches[name]
+            parts.append(f"latch {name} {latch.width} {latch.init} "
+                         f"{digest(latch.next)}")
+        for name in sorted(self.memories):
+            mem = self.memories[name]
+            words = ",".join(f"{a}:{v}"
+                             for a, v in sorted(mem.init_words.items()))
+            parts.append(f"memory {name} {mem.addr_width} {mem.data_width} "
+                         f"{mem.init} [{words}]")
+            for port in mem.read_ports:
+                parts.append(f"  r{port.index} {digest(port.addr)} "
+                             f"{digest(port.en)}")
+            for port in mem.write_ports:
+                parts.append(f"  w{port.index} {digest(port.addr)} "
+                             f"{digest(port.data)} {digest(port.en)}")
+        for name in sorted(self.properties):
+            prop = self.properties[name]
+            parts.append(f"property {name} {prop.kind} {digest(prop.expr)}")
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
     # -- metrics -----------------------------------------------------------
 

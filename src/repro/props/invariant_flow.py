@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.bmc.engine import BmcOptions, verify
+from repro.bmc.engine import BmcOptions, verify, verify_many
 from repro.bmc.results import PROOF, BmcResult
 from repro.design.netlist import Design
 from repro.design.rewrite import ExprRewriter
@@ -138,6 +138,8 @@ def prove_with_memory_invariant(design: Design, mem_name: str,
     reduced = abstract_memory_reads(design, mem_name, read_value)
     result.reduced_design = reduced
     opts = property_options or BmcOptions(max_depth=30, use_emm=True)
-    for name in property_names:
-        result.property_results[name] = verify(reduced, name, opts)
+    # All derived properties are checks over the same reduced design and
+    # options, so they share one encoding session: the unrolled CNF is
+    # paid for once and each further property adds only its P literals.
+    result.property_results = verify_many(reduced, property_names, opts)
     return result

@@ -13,6 +13,7 @@ abstraction.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Optional, Sequence
 
@@ -142,9 +143,12 @@ class SolveResult:
     #: ``sat`` is False; empty for plain (assumption-free) UNSAT.
     failed_assumptions: tuple[int, ...] = ()
     stats: dict = field(default_factory=dict)
-    #: True when the solve aborted on its conflict budget; ``sat`` is then
+    #: True when the solve aborted on a resource limit; ``sat`` is then
     #: meaningless and callers must treat the result as UNKNOWN.
     unknown: bool = False
+    #: Which limit aborted the solve when ``unknown``: ``"conflicts"``
+    #: (``max_conflicts`` exhausted) or ``"deadline"`` (wall clock).
+    limit: Optional[str] = None
 
     def __bool__(self) -> bool:  # allows ``if solver.solve(...):``
         if self.unknown:
@@ -301,8 +305,15 @@ class Solver:
         self._attach(cid)
         return cid
 
+    #: A solve under a deadline polls the wall clock once per this many
+    #: conflicts — frequent enough to stop a hard check within a fraction
+    #: of a second, rare enough that ``time.monotonic()`` stays invisible
+    #: in the profile.
+    DEADLINE_CONFLICT_STEP = 16
+
     def solve(self, assumptions: Sequence[int] = (),
-              max_conflicts: Optional[int] = None) -> SolveResult:
+              max_conflicts: Optional[int] = None,
+              deadline: Optional[float] = None) -> SolveResult:
         """Solve under the given assumption literals.
 
         Returns a :class:`SolveResult`; when unsatisfiable, the core of
@@ -311,13 +322,20 @@ class Solver:
         ``max_conflicts`` bounds the search: up to N conflicts are
         *analyzed* (their learned clauses are kept for later calls —
         ``max_conflicts=1`` still learns from its one conflict), then the
-        next conflict aborts with ``unknown=True``.  A conflict at
-        decision level 0 still returns the definitive UNSAT answer
-        regardless of the budget.
+        next conflict aborts with ``unknown=True`` and ``limit =
+        "conflicts"``.  ``deadline`` (a ``time.monotonic()`` instant)
+        bounds wall time: the loop polls the clock on stepped conflict
+        counts and aborts with ``limit = "deadline"`` once passed, so a
+        single hard check cannot blow through a caller's wall budget.  A
+        conflict at decision level 0 still returns the definitive UNSAT
+        answer regardless of either limit.
         """
         self.stats.solves += 1
         if self._broken:
             return self._result(False)
+        if deadline is not None and time.monotonic() >= deadline:
+            return SolveResult(sat=False, unknown=True, limit="deadline",
+                               stats=self.stats.snapshot())
         budget_left = max_conflicts
         self._last_failed = ()
         self._unsat_core_cids = None
@@ -348,8 +366,16 @@ class Solver:
                         # conflicts: abort before analyzing this one.
                         self._cancel_until(0)
                         return SolveResult(sat=False, unknown=True,
+                                           limit="conflicts",
                                            stats=self.stats.snapshot())
                     budget_left -= 1
+                if (deadline is not None
+                        and conflicts_here % self.DEADLINE_CONFLICT_STEP == 0
+                        and time.monotonic() >= deadline):
+                    self._cancel_until(0)
+                    return SolveResult(sat=False, unknown=True,
+                                       limit="deadline",
+                                       stats=self.stats.snapshot())
                 learnt, bt_level, used = self._analyze(confl)
                 self._cancel_until(bt_level)
                 self._record_learnt(learnt, used)

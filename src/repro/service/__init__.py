@@ -1,0 +1,16 @@
+"""Verification as a service: sharded multi-property scheduling.
+
+Built on the encoding/scheduling split of :mod:`repro.bmc` — an
+:class:`repro.bmc.session.EncodingSession` per (design, options) shared
+by every property, with jobs sharded across processes and results
+streamed under a first-counterexample-wins policy.
+"""
+
+from repro.bmc.session import SessionCache
+from repro.service.service import (CANCELLED, ServiceJob, ServiceResult,
+                                   VerificationService, merge_window_results,
+                                   shard_depths)
+
+__all__ = ["VerificationService", "ServiceJob", "ServiceResult",
+           "SessionCache", "CANCELLED", "merge_window_results",
+           "shard_depths"]

@@ -1,0 +1,273 @@
+"""Sharded multi-property verification service.
+
+The service turns the session/scheduler split of :mod:`repro.bmc` into
+a system-level API: a request is a set of *(property × options ×
+depth-window)* jobs over one design, sharded across worker processes
+(``concurrent.futures.ProcessPoolExecutor``) or run inline, with
+results streamed as they land.
+
+Three behaviours the per-call :func:`repro.bmc.verify` cannot give:
+
+* **session sharing** — every job of a worker process (or the inline
+  path) runs against a :class:`repro.bmc.session.SessionCache`, so N
+  properties of the same design under the same options share one
+  unrolled CNF plus the solver's learned clauses;
+* **first-CEX-wins** — once any job reports a counterexample for a
+  property, that property's remaining jobs are cancelled (pending) or
+  suppressed (already running); the stream shows the cancellations;
+* **depth-window sharding** — ``depth_windows`` splits the depth range
+  of each property into contiguous shards checked by separate jobs
+  (frames below a window are still encoded — only the *checks* are
+  restricted, so each shard is independently sound).
+
+Designs cross the process boundary as *factories* (a picklable
+zero-argument callable), not as pickled ``Design`` objects — deep
+expression DAGs and pickle recursion do not mix.  Workers key their
+session cache on :meth:`repro.design.netlist.Design.fingerprint`, so
+rebuilding the design per job still reuses the worker's live session.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.bmc.engine import BmcEngine, BmcOptions
+from repro.bmc.results import BOUNDED, CEX, BmcResult
+from repro.bmc.session import SessionCache
+from repro.design.netlist import Design
+
+#: Stream status of a job suppressed by first-CEX-wins (no result).
+CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class ServiceJob:
+    """One schedulable unit: a property checked over a depth window."""
+
+    property_name: str
+    options: BmcOptions
+    #: ``(lo, hi)`` inclusive depth range, or None for the options' full
+    #: ``0..max_depth``.
+    window: Optional[tuple[int, int]] = None
+
+
+@dataclass
+class ServiceResult:
+    """One streamed entry: a job's outcome, in completion order."""
+
+    property_name: str
+    window: Optional[tuple[int, int]]
+    #: The job's :class:`BmcResult` status, or :data:`CANCELLED` when a
+    #: sibling's counterexample made this job moot.
+    status: str
+    result: Optional[BmcResult]
+
+
+def shard_depths(max_depth: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``0..max_depth`` into ``shards`` contiguous windows.
+
+    The windows partition the range, which is what makes per-window
+    verdicts mergeable (:func:`merge_window_results`): a proof in window
+    k is conditional only on the absence of counterexamples below, which
+    windows 0..k-1 establish.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    total = max_depth + 1
+    shards = min(shards, total)
+    base, extra = divmod(total, shards)
+    windows = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < extra else 0) - 1
+        windows.append((lo, hi))
+        lo = hi + 1
+    return windows
+
+
+def merge_window_results(results: Sequence[BmcResult]) -> BmcResult:
+    """Fold per-window results (ascending windows) into one verdict.
+
+    Mirrors the sequential depth scan: the first window that concluded
+    (CEX, PROOF or TIMEOUT) is the answer — sequentially, later depths
+    would never have run; if every window stayed BOUNDED, the deepest
+    one is.
+    """
+    if not results:
+        raise ValueError("no results to merge")
+    for r in results:
+        if r.status != BOUNDED:
+            return r
+    return results[-1]
+
+
+# -- worker side (must be module-level for pickling) -----------------------
+
+_worker_cache: Optional[SessionCache] = None
+
+
+def _worker_run(design_factory: Callable[[], Design], property_name: str,
+                options: BmcOptions,
+                window: Optional[tuple[int, int]]) -> BmcResult:
+    """Run one job in a worker process, reusing its process-local cache.
+
+    The cache is keyed on content (fingerprint), so the design rebuilt
+    by the factory on every call still maps onto the worker's live
+    session — each worker pays for the encoding once per
+    (design, options), no matter how many jobs it drains.
+    """
+    global _worker_cache
+    if _worker_cache is None:
+        _worker_cache = SessionCache()
+    design = design_factory()
+    session = _worker_cache.get_or_create(design, options)
+    engine = BmcEngine(session.design, property_name, options,
+                       session=session)
+    return engine.run(window=window)
+
+
+class VerificationService:
+    """Schedules verification jobs for one design across workers.
+
+    ``design_factory`` is a picklable zero-argument callable returning
+    the design (e.g. ``functools.partial(build_fifo, params)``).  With
+    ``jobs <= 1`` everything runs inline in this process — same
+    semantics, deterministic completion order, no pickling requirement.
+    The service is a context manager; ``close()`` shuts the pool down.
+
+    Repeated ``run()``/``stream()`` calls reuse live sessions: inline
+    through :attr:`cache`, pooled through each worker's process-local
+    cache (workers persist for the service's lifetime).
+    """
+
+    def __init__(self, design_factory: Callable[[], Design],
+                 options: Optional[BmcOptions] = None, jobs: int = 1,
+                 session_cache: Optional[SessionCache] = None) -> None:
+        self.design_factory = design_factory
+        self.options = options or BmcOptions()
+        self.jobs = max(1, jobs)
+        self.cache = session_cache if session_cache is not None else SessionCache()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._design: Optional[Design] = None
+
+    def __enter__(self) -> "VerificationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _get_design(self) -> Design:
+        if self._design is None:
+            self._design = self.design_factory()
+        return self._design
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(self, properties: Optional[Sequence[str]] = None,
+             options: Optional[BmcOptions] = None,
+             depth_windows: Optional[Sequence[tuple[int, int]]] = None,
+             ) -> list[ServiceJob]:
+        """The job list a request expands to: property × window.
+
+        Windows must be ascending and contiguous when given (see
+        :func:`shard_depths`); properties default to all of the design's,
+        sorted.
+        """
+        opts = options or self.options
+        if properties is None:
+            properties = sorted(self._get_design().properties)
+        windows: Sequence[Optional[tuple[int, int]]] = (
+            list(depth_windows) if depth_windows else [None])
+        return [ServiceJob(name, opts, w)
+                for name in properties for w in windows]
+
+    # -- execution ---------------------------------------------------------
+
+    def stream(self, properties: Optional[Sequence[str]] = None, *,
+               options: Optional[BmcOptions] = None,
+               depth_windows: Optional[Sequence[tuple[int, int]]] = None,
+               ) -> Iterator[ServiceResult]:
+        """Yield job outcomes as they complete (first-CEX-wins applied)."""
+        jobs = self.plan(properties, options, depth_windows)
+        if self.jobs == 1:
+            yield from self._stream_inline(jobs)
+        else:
+            yield from self._stream_pool(jobs)
+
+    def _stream_inline(self, jobs: list[ServiceJob]) -> Iterator[ServiceResult]:
+        decided: set[str] = set()
+        for job in jobs:
+            if job.property_name in decided:
+                yield ServiceResult(job.property_name, job.window,
+                                    CANCELLED, None)
+                continue
+            design = self._get_design()
+            session = self.cache.get_or_create(design, job.options)
+            engine = BmcEngine(session.design, job.property_name,
+                               job.options, session=session)
+            result = engine.run(window=job.window)
+            yield ServiceResult(job.property_name, job.window,
+                                result.status, result)
+            if result.status == CEX:
+                decided.add(job.property_name)
+
+    def _stream_pool(self, jobs: list[ServiceJob]) -> Iterator[ServiceResult]:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        futures = {
+            self._pool.submit(_worker_run, self.design_factory,
+                              job.property_name, job.options, job.window): job
+            for job in jobs
+        }
+        decided: set[str] = set()
+        for fut in as_completed(futures):
+            job = futures[fut]
+            if fut.cancelled():
+                continue  # its cancellation record was streamed below
+            result = fut.result()
+            if job.property_name in decided:
+                # Sibling finished after the property was decided: its
+                # result is suppressed so the first CEX stays the answer.
+                yield ServiceResult(job.property_name, job.window,
+                                    CANCELLED, None)
+                continue
+            yield ServiceResult(job.property_name, job.window,
+                                result.status, result)
+            if result.status == CEX:
+                decided.add(job.property_name)
+                for other, sibling in futures.items():
+                    if (sibling.property_name == job.property_name
+                            and other is not fut and other.cancel()):
+                        yield ServiceResult(sibling.property_name,
+                                            sibling.window, CANCELLED, None)
+
+    def run(self, properties: Optional[Sequence[str]] = None, *,
+            options: Optional[BmcOptions] = None,
+            depth_windows: Optional[Sequence[tuple[int, int]]] = None,
+            ) -> dict[str, BmcResult]:
+        """Run all jobs; per-property verdicts with windows merged.
+
+        Without ``depth_windows`` the verdicts (status, depth, trace
+        length, method) are identical to sequential per-property
+        :func:`repro.bmc.verify` runs.  With sharding, a counterexample
+        may be reported from a deeper window than the shallowest one
+        that holds it (first-CEX-wins races the windows); statuses still
+        agree.
+        """
+        per_prop: dict[str, list[ServiceResult]] = {}
+        for sr in self.stream(properties, options=options,
+                              depth_windows=depth_windows):
+            if sr.result is not None:
+                per_prop.setdefault(sr.property_name, []).append(sr)
+        def lo(sr: ServiceResult) -> int:
+            return 0 if sr.window is None else sr.window[0]
+        return {name: merge_window_results(
+                    [sr.result for sr in sorted(entries, key=lo)])
+                for name, entries in per_prop.items()}

@@ -32,6 +32,18 @@ class Trace:
         """The input vectors, replayable through the simulator."""
         return [dict(c["inputs"]) for c in self.cycles]
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (memory addresses become string keys)."""
+        return {
+            "design_name": self.design_name,
+            "cycles": [{group: dict(vals) for group, vals in cyc.items()}
+                       for cyc in self.cycles],
+            "init_memories": {name: {str(addr): val
+                                     for addr, val in sorted(words.items())}
+                              for name, words in sorted(self.init_memories.items())},
+            "init_latches": dict(sorted(self.init_latches.items())),
+        }
+
     def format_table(self, names: list[tuple[str, str]] | None = None,
                      max_cycles: int = 32) -> str:
         """Human-readable table of selected ``(group, name)`` signals."""

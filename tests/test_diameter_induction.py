@@ -38,7 +38,8 @@ def lfp_setup(design, kept_latches=None):
 class TestLoopFreeConstraints:
     def test_pair_and_clause_counts(self):
         """Frame k adds k pairs; each pair costs 2 clauses per state bit
-        plus the closing some-bit-differs clause."""
+        plus the closing some-bit-differs clause, and each frame >= 1
+        adds one a_lfp -> g_k activation implication."""
         design = counter_design(width=3)
         solver, unroller, lfp, _ = lfp_setup(design)
         bits = 3  # one latch, width 3
@@ -47,7 +48,8 @@ class TestLoopFreeConstraints:
             lfp.add_frame(k)
             expected_pairs = k * (k + 1) // 2
             assert lfp.pairs_added == expected_pairs
-            assert lfp.clauses_added == expected_pairs * (2 * bits + 1)
+            assert lfp.clauses_added == expected_pairs * (2 * bits + 1) + k
+            assert len(lfp.frame_lits) == k
 
     def test_loop_free_paths_bounded_by_state_count(self):
         """A free-running 2-bit counter has exactly 4 states: loop-free
@@ -75,6 +77,21 @@ class TestLoopFreeConstraints:
         assert solver.solve([]).sat is True
         assert solver.solve([-a_lfp]).sat is True
 
+    def test_per_frame_assumptions_scope_only_checked_frames(self):
+        """``assumptions(i)`` activates pairs among frames 0..i only —
+        deeper frames already encoded (by a sibling property on a shared
+        session) must not constrain a shallow check.  A 1-bit toggler
+        with 4 encoded frames still has a loop-free path of length 1."""
+        design = counter_design(width=1)
+        solver, unroller, lfp, a_lfp = lfp_setup(design)
+        for k in range(4):
+            unroller.add_frame()
+            lfp.add_frame(k)
+        assert lfp.assumptions(0) == []
+        assert solver.solve(lfp.assumptions(1)).sat is True
+        assert solver.solve(lfp.assumptions(2)).sat is False
+        assert solver.solve([a_lfp]).sat is False  # master implies all
+
     def test_kept_latches_scope_the_state(self):
         """Loop-freedom is judged over the *kept* latch words only: with
         the wide latch abstracted away, the 1-bit latch bounds the
@@ -94,7 +111,8 @@ class TestLoopFreeConstraints:
             results.append(solver.solve([a_lfp]).sat)
         # 2 reachable small-states: length-2 loop-free paths impossible.
         assert results == [True, True, False]
-        assert lfp.clauses_added == (2 * 1 + 1) * 3  # 1-bit state pairs
+        # 3 pairs of 1-bit states, plus one frame guard per frame >= 1.
+        assert lfp.clauses_added == (2 * 1 + 1) * 3 + 2
 
 
 class TestForwardRecurrenceDiameter:

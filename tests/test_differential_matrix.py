@@ -27,7 +27,7 @@ import random
 
 import pytest
 
-from repro.bmc import BmcOptions, verify
+from repro.bmc import BmcOptions, verify, verify_many
 from repro.casestudies.cache import CacheParams, build_cache
 from repro.casestudies.fifo import FifoParams, build_fifo
 from repro.casestudies.stack_machine import StackMachineParams, build_stack_machine
@@ -85,6 +85,20 @@ def random_netlist(seed):
     target = rng.randrange(1 << dw)
     d.reach("hit", mem.read(0).data.eq(target))
     return d, "hit"
+
+
+def multi_property_netlist(seed):
+    """``random_netlist`` grown to several properties of both kinds —
+    the shape the shared-session path must keep observationally
+    identical to per-property engines."""
+    rng = random.Random(10_000 + seed)
+    d, _ = random_netlist(seed)
+    mem = d.memories["m"]
+    d.reach("hit2", mem.read(1).data.eq(rng.randrange(1 << mem.data_width)))
+    t = d.latches["t"]
+    d.invariant("t_in_range", t.expr.ult((1 << t.width) - 1) |
+                t.expr.eq((1 << t.width) - 1))
+    return d
 
 
 def falsify(design, prop, depth, **options):
@@ -180,6 +194,51 @@ def test_pba_reasons_full_matrix_nightly(seed, encoding):
     design, prop = random_netlist(seed)
     runs = prove_matrix(design, prop, 4, encoding, FULL_MATRIX)
     assert_observable_parity(runs, (seed, encoding))
+
+
+# ---------------------------------------------------------------------------
+# Shared-session runs vs fresh per-property engines.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("encoding", ["hybrid", "gates"])
+@pytest.mark.parametrize("seed", range(4))
+def test_shared_session_matches_fresh_engines_random(seed, encoding):
+    """N properties on one encoding session agree with N fresh engines
+    on verdict, depth, method and trace shape — checks are assumption
+    sets, invisible to one another.  (Reason *sets* are compared in
+    test_session_service.py: unsat cores are not unique, so a shared
+    solver may pick a different-but-sound core.)"""
+    design = multi_property_netlist(seed)
+    opts = BmcOptions(find_proof=True, pba=True, max_depth=4,
+                      emm_encoding=encoding)
+    shared = verify_many(design, options=opts)
+    assert set(shared) == set(design.properties)
+    for name, r in shared.items():
+        fresh = verify(multi_property_netlist(seed), name, opts)
+        ctx = (seed, encoding, name)
+        assert r.status == fresh.status, (ctx, r.status, fresh.status)
+        assert r.depth == fresh.depth, ctx
+        assert r.method == fresh.method, ctx
+        assert r.trace_validated == fresh.trace_validated, ctx
+        if r.trace is not None:
+            assert len(r.trace.cycles) == len(fresh.trace.cycles), ctx
+        assert len(r.latch_reasons) == len(fresh.latch_reasons), ctx
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("encoding", ["hybrid", "gates"])
+@pytest.mark.parametrize("seed", range(4, 10))
+def test_shared_session_matches_fresh_engines_random_nightly(seed, encoding):
+    design = multi_property_netlist(seed)
+    opts = BmcOptions(find_proof=True, pba=True, max_depth=5,
+                      emm_encoding=encoding)
+    shared = verify_many(design, options=opts)
+    for name, r in shared.items():
+        fresh = verify(multi_property_netlist(seed), name, opts)
+        ctx = (seed, encoding, name)
+        assert (r.status, r.depth, r.method) == \
+            (fresh.status, fresh.depth, fresh.method), ctx
 
 
 # ---------------------------------------------------------------------------
