@@ -1,0 +1,105 @@
+"""Vectorized vs scalar simulation throughput (trials per second).
+
+The vector simulator exists for one reason: replaying *many* stimulus
+vectors — fuzz-farm batches, shrink candidates, revalidation sweeps —
+far faster than looping the scalar interpreter.  This bench measures
+both engines on identical stimulus batches and **gates** on the speedup
+at batch >= 256: the vectorized path must deliver at least 10x the
+scalar trials/sec, else the whole batching machinery is dead weight.
+"""
+
+import random
+import time
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from benchmarks import common
+from repro.casestudies.fifo import FifoParams, build_fifo
+from repro.sim import SimulatorOracle, VectorOracle
+from repro.sim.fuzzfarm import build_fuzz_netlist, random_stimulus
+
+common.table(
+    "S1 — vector vs scalar simulation throughput",
+    ["workload", "mode", "batch", "cycles", "scalar trials/s",
+     "vector trials/s", "speedup"],
+    note="batched NumPy evaluation vs the scalar reference interpreter on "
+         "identical stimulus.  'check' is the farm/shrinker hot path "
+         "(verdicts only, no trace extraction) and carries the >=10x "
+         "gate; 'replay' materializes full per-lane traces",
+)
+
+#: The CI gate: minimum vector-over-scalar verdict-checking speedup at
+#: batch >= 256 — the fuzz farm's and the batched shrinker's hot path.
+MIN_SPEEDUP = 10.0
+
+
+def _fifo():
+    return build_fifo(FifoParams(addr_width=3, data_width=4))
+
+
+def _fuzz():
+    return build_fuzz_netlist(3)
+
+
+WORKLOADS = {"fifo": _fifo, "fuzz-netlist": _fuzz}
+
+#: Scalar lanes actually interpreted (the full batch would dominate the
+#: bench run); trials/sec extrapolates from this sample.
+SCALAR_SAMPLE = 32
+
+
+def _stimuli(design, batch, cycles, seed):
+    rng = random.Random(seed)
+    return [random_stimulus(design, rng, cycles) for _ in range(batch)]
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def bench_sim_throughput(benchmark, workload):
+    design = WORKLOADS[workload]()
+    batch, cycles = 256, 16
+    prop = sorted(design.properties)[0]
+    stimuli = _stimuli(design, batch, cycles, seed=7)
+    sample = stimuli[:SCALAR_SAMPLE]
+    scalar = SimulatorOracle(design)
+    vector = VectorOracle(design)
+    # Warm the compiled plan cache so the bench measures the sweep, not
+    # the one-time compilation.
+    vector.replay_batch(stimuli[:2])
+
+    def run():
+        t0 = time.perf_counter()
+        scalar_verdicts = scalar.check_batch(prop, sample)
+        t1 = time.perf_counter()
+        vector_verdicts = vector.check_batch(prop, stimuli)
+        t2 = time.perf_counter()
+        scalar_traces = scalar.replay_batch(sample)
+        t3 = time.perf_counter()
+        vector_traces = vector.replay_batch(stimuli)
+        t4 = time.perf_counter()
+        return (scalar_verdicts, vector_verdicts, scalar_traces,
+                vector_traces, [t1 - t0, t2 - t1, t3 - t2, t4 - t3])
+
+    scalar_verdicts, vector_verdicts, scalar_traces, vector_traces, times = \
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Same semantics before we compare speed.
+    for ref, got in zip(scalar_verdicts, vector_verdicts):
+        assert (ref.failed, ref.cycle) == (got.failed, got.cycle)
+    for ref, got in zip(scalar_traces, vector_traces):
+        assert ref.cycles == got.cycles
+
+    speedups = {}
+    for mode, t_scalar, t_vector in (("check", times[0], times[1]),
+                                     ("replay", times[2], times[3])):
+        scalar_tps = SCALAR_SAMPLE / t_scalar
+        vector_tps = batch / t_vector
+        speedups[mode] = vector_tps / scalar_tps
+        common.add_row(
+            "S1 — vector vs scalar simulation throughput",
+            workload, mode, batch, cycles, f"{scalar_tps:,.0f}",
+            f"{vector_tps:,.0f}", f"{speedups[mode]:.1f}x")
+    assert speedups["check"] >= MIN_SPEEDUP, (
+        f"{workload}: vectorized checking only {speedups['check']:.1f}x "
+        f"over scalar at batch {batch} (gate: {MIN_SPEEDUP}x)")

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.sim.simulator import Simulator
+from repro.sim.oracle import SimulatorOracle, Stimulus
 from repro.sim.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -81,14 +81,17 @@ def extract_trace(engine: "BmcEngine", depth: int,
 
     concrete = engine.is_concrete()
     if concrete and validate:
-        sim = Simulator(design, init_latches=init_latches,
-                        init_memories=init_memories)
-        replay = sim.run(inputs_seq)
+        # Replay through the scalar reference oracle — the same Oracle
+        # API the shrinker, the fuzz farm and the differential matrix
+        # consume, so validation semantics stay in one place.
+        oracle = SimulatorOracle(design)
+        replay = oracle.replay(Stimulus(
+            inputs=inputs_seq, init_latches=dict(init_latches),
+            init_memories={m: dict(c) for m, c in init_memories.items()}))
         trace.cycles = replay.cycles
         prop = engine.prop
         final = trace.cycles[depth]["props"][prop.name]
-        expected_bad = 0 if prop.kind == "invariant" else 1
-        validated = final == expected_bad
+        validated = final == oracle.expected_bad(prop.name)
         return trace, validated
 
     # Abstract model: report the SAT model's view without replay.

@@ -4,9 +4,23 @@ Simulates a :class:`repro.design.Design` with sparse memory contents,
 used to replay and validate BMC counterexamples/witnesses, to drive the
 examples, and as the reference semantics in differential tests against
 both the explicit and the EMM verification paths.
+
+Two interchangeable evaluation engines sit behind one Oracle API
+(:mod:`repro.sim.oracle`): the scalar reference interpreter
+(:class:`Simulator`) and the NumPy batch simulator
+(:class:`repro.sim.vector.VectorSimulator`), which evaluates many
+stimulus vectors per pass and powers the differential fuzz farm
+(:mod:`repro.sim.fuzzfarm`) and batched counterexample shrinking.
 """
 
 from repro.sim.simulator import Simulator
-from repro.sim.trace import Trace, write_vcd
+from repro.sim.trace import Trace, read_vcd, write_vcd
+from repro.sim.oracle import (ExplicitOracle, Oracle, SimulatorOracle,
+                              Stimulus, VectorOracle, Verdict,
+                              default_oracle)
+from repro.sim.vector import BatchTrace, VectorSimulator, have_numpy
 
-__all__ = ["Simulator", "Trace", "write_vcd"]
+__all__ = ["Simulator", "Trace", "write_vcd", "read_vcd",
+           "Oracle", "SimulatorOracle", "VectorOracle", "ExplicitOracle",
+           "Stimulus", "Verdict", "default_oracle",
+           "BatchTrace", "VectorSimulator", "have_numpy"]

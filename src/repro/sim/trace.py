@@ -44,6 +44,30 @@ class Trace:
             "init_latches": dict(sorted(self.init_latches.items())),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        """Inverse of :meth:`to_dict` — the round-trip for service
+        ``--json`` output and fuzz-farm reproducer files."""
+        trace = cls(design_name=data.get("design_name", ""))
+        trace.cycles = [
+            {group: {name: int(value) for name, value in vals.items()}
+             for group, vals in cyc.items()}
+            for cyc in data.get("cycles", [])
+        ]
+        trace.init_memories = {
+            name: {int(addr): int(value) for addr, value in words.items()}
+            for name, words in data.get("init_memories", {}).items()
+        }
+        trace.init_latches = {name: int(value) for name, value
+                              in data.get("init_latches", {}).items()}
+        return trace
+
+    @classmethod
+    def from_batch(cls, batch, lane: int) -> "Trace":
+        """Extract one lane of a vector run
+        (:class:`repro.sim.vector.BatchTrace`) as a scalar trace."""
+        return batch.lane(lane)
+
     def format_table(self, names: list[tuple[str, str]] | None = None,
                      max_cycles: int = 32) -> str:
         """Human-readable table of selected ``(group, name)`` signals."""
@@ -97,6 +121,60 @@ def write_vcd(out: TextIO, trace: Trace, widths: dict[tuple[str, str], int],
             else:
                 out.write(f"b{value:b} {ident}\n")
     out.write(f"#{len(trace.cycles)}\n")
+
+
+def read_vcd(inp: TextIO) -> Trace:
+    """Parse a VCD produced by :func:`write_vcd` back into a trace.
+
+    Reconstructs full per-cycle values (VCD only dumps *changes*; held
+    values are filled in) for every declared ``group.name`` variable.
+    Only the subset of VCD that :func:`write_vcd` emits is supported —
+    enough for round-trip tests and for re-importing dumped waveforms.
+    """
+    trace = Trace()
+    by_ident: dict[str, tuple[str, str]] = {}
+    current: dict[tuple[str, str], int] = {}
+    in_cycle = False
+
+    def flush() -> None:
+        cycle: dict[str, dict[str, int]] = {}
+        for (group, name), value in current.items():
+            cycle.setdefault(group, {})[name] = value
+        trace.cycles.append(cycle)
+
+    for raw in inp:
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("$scope"):
+            parts = line.split()
+            if len(parts) >= 3:
+                trace.design_name = parts[2]
+            continue
+        if line.startswith("$var"):
+            # $var wire <width> <ident> <group>.<name> $end
+            parts = line.split()
+            ident, full = parts[3], parts[4]
+            group, _, name = full.partition(".")
+            by_ident[ident] = (group, name)
+            continue
+        if line.startswith("$"):
+            continue
+        if line.startswith("#"):
+            if in_cycle:
+                flush()
+            in_cycle = True
+            continue
+        if line.startswith("b"):
+            bits, ident = line[1:].split()
+            current[by_ident[ident]] = int(bits, 2)
+        else:
+            current[by_ident[line[1:]]] = int(line[0])
+    # The trailing "#<len>" marker already flushed the final cycle; a
+    # truncated file without it still flushes what accumulated.
+    if in_cycle and current and len(trace.cycles) == 0:
+        flush()
+    return trace
 
 
 def _vcd_ident(i: int) -> str:

@@ -32,6 +32,7 @@ from repro.casestudies.cache import CacheParams, build_cache
 from repro.casestudies.fifo import FifoParams, build_fifo
 from repro.casestudies.stack_machine import StackMachineParams, build_stack_machine
 from repro.design import Design, expand_memories
+from repro.sim import Stimulus, default_oracle
 
 #: The option axes of the matrix, as BmcOptions kwargs.
 OPTION_AXES = ("strash", "emm_addr_dedup", "emm_chain_share",
@@ -117,8 +118,15 @@ def run_matrix(design, prop, depth, combos):
     return out
 
 
-def assert_oracle_parity(results, oracle, ctx):
-    """Every matrix run agrees with the explicit-model oracle."""
+def assert_oracle_parity(results, oracle, ctx, design=None, prop=None):
+    """Every matrix run agrees with the explicit-model oracle.
+
+    With ``design``/``prop`` given, counterexample traces are
+    additionally revalidated through the *concrete* oracle API
+    (:func:`repro.sim.default_oracle`) — an independent replay outside
+    the engine's own validation path.
+    """
+    checker = default_oracle(design) if design is not None else None
     for key, r in results.items():
         assert r.status == oracle.status, (ctx, key, r.status, oracle.status)
         assert r.depth == oracle.depth, (ctx, key)
@@ -126,6 +134,9 @@ def assert_oracle_parity(results, oracle, ctx):
             assert r.trace_validated is True, (ctx, key)
             assert oracle.trace_validated is True, ctx
             assert len(r.trace.cycles) == len(oracle.trace.cycles), (ctx, key)
+            if checker is not None:
+                v = checker.check(prop, Stimulus.from_trace(r.trace))
+                assert v.failed and v.cycle == r.depth, (ctx, key, v)
 
 
 # ---------------------------------------------------------------------------
@@ -139,7 +150,7 @@ def test_random_netlists_match_explicit_oracle(seed):
     depth = 4
     oracle = falsify(expand_memories(design), prop, depth, use_emm=False)
     results = run_matrix(design, prop, depth, REPRESENTATIVE)
-    assert_oracle_parity(results, oracle, seed)
+    assert_oracle_parity(results, oracle, seed, design=design, prop=prop)
 
 
 @pytest.mark.slow
@@ -150,7 +161,7 @@ def test_random_netlists_full_matrix_nightly(seed):
     depth = 5
     oracle = falsify(expand_memories(design), prop, depth, use_emm=False)
     results = run_matrix(design, prop, depth, FULL_MATRIX)
-    assert_oracle_parity(results, oracle, seed)
+    assert_oracle_parity(results, oracle, seed, design=design, prop=prop)
 
 
 # ---------------------------------------------------------------------------
@@ -278,7 +289,7 @@ def test_case_studies_match_explicit_oracle(builder, prop, depth):
     results = run_matrix(design, prop, depth,
                          [dict.fromkeys(OPTION_AXES, True),
                           dict.fromkeys(OPTION_AXES, False)])
-    assert_oracle_parity(results, oracle, prop)
+    assert_oracle_parity(results, oracle, prop, design=design, prop=prop)
 
 
 @pytest.mark.slow
@@ -289,3 +300,46 @@ def test_case_studies_representative_matrix_nightly(builder, prop, depth):
     oracle = falsify(expand_memories(design), prop, depth, use_emm=False)
     results = run_matrix(design, prop, depth, REPRESENTATIVE)
     assert_oracle_parity(results, oracle, prop)
+
+
+# ---------------------------------------------------------------------------
+# Mass trials through the fuzz farm (repro.sim.fuzzfarm).
+# ---------------------------------------------------------------------------
+
+
+def farm_failure_message(report):
+    lines = [report.summary()]
+    for div in report.divergences:
+        lines.append(f"  [{div.kind}] seed={div.seed} prop={div.prop} "
+                     f"{div.detail}")
+        if div.stimulus is not None:
+            lines.append(f"    reproducer: {div.stimulus}")
+    lines += [f"  artifact: {p}" for p in report.artifacts]
+    return "\n".join(lines)
+
+
+def test_fuzzfarm_smoke(tmp_path):
+    """Per-push farm smoke: a small batch through the whole differential
+    (vector sim vs scalar vs explicit vs both BMC encodings)."""
+    from repro.sim.fuzzfarm import FarmConfig, run_farm
+
+    report = run_farm(FarmConfig(batch=32, depth=4, seed=0, rounds=2,
+                                 bmc_depth=3, scalar_lanes=2,
+                                 explicit_lanes=1, out_dir=str(tmp_path)))
+    assert report.ok, farm_failure_message(report)
+    assert report.trials > 64
+
+
+@pytest.mark.slow
+def test_fuzzfarm_mass_trials_nightly(tmp_path):
+    """The nightly farm config: >= 1000 netlist x option x stimulus
+    trials, seed-budgeted, with auto-shrunk reproducers persisted for
+    the CI artifact upload on failure."""
+    from repro.sim.fuzzfarm import FarmConfig, run_farm
+
+    report = run_farm(FarmConfig(batch=128, depth=6, seed=1,
+                                 min_trials=1000, budget_s=600.0,
+                                 bmc_depth=4, scalar_lanes=4,
+                                 explicit_lanes=2, out_dir=str(tmp_path)))
+    assert report.trials >= 1000, report.summary()
+    assert report.ok, farm_failure_message(report)

@@ -1,9 +1,10 @@
 """Differential semantics fuzz: AIG lowering vs the reference simulator.
 
-The expression layer has two independent interpretations — the word-level
-interpreter in ``repro.sim.simulator`` and the bit-level lowering in
+The expression layer has three independent interpretations — the
+word-level interpreter in ``repro.sim.simulator``, the NumPy batch
+evaluator in ``repro.sim.vector``, and the bit-level lowering in
 ``repro.aig.ops`` used by the BMC unroller.  For random expression trees
-over random inputs, both must produce the same value; hypothesis
+over random inputs, all must produce the same value; hypothesis
 generates the trees and the operand values.
 """
 
@@ -101,6 +102,54 @@ class TestRandomExpressions:
            y=st.integers(min_value=0, max_value=7))
     def test_hypothesis_trees(self, seed, x, y):
         build_and_compare(seed, x, y)
+
+
+def build_and_compare_vector(seed: int, pairs) -> None:
+    """Scalar-vs-vector parity: every (x, y) pair is one lane."""
+    np = pytest.importorskip("numpy")
+    from repro.sim import VectorSimulator
+
+    rng = random.Random(seed)
+    d = Design(f"expr{seed}")
+    x = d.input("x", 4)
+    y = d.input("y", 3)
+    leaves = [x, y, d.const(rng.randrange(16), 4), d.const(1, 1)]
+    expr = random_expr(rng, d, leaves, depth=4)
+    d.invariant("p", expr.eq(0) | d.const(1, 1))
+
+    expected = []
+    for x_val, y_val in pairs:
+        sim = Simulator(d)
+        sim.begin_cycle({"x": x_val, "y": y_val})
+        expected.append(sim.eval(expr))
+
+    vsim = VectorSimulator(d, len(pairs), watch={"e": expr})
+    bt = vsim.run([{
+        "x": np.array([p[0] for p in pairs], dtype=np.uint64),
+        "y": np.array([p[1] for p in pairs], dtype=np.uint64),
+    }])
+    got = [bt.lane(i).cycles[0]["watch"]["e"] for i in range(len(pairs))]
+    assert got == expected, (seed, pairs, expr)
+
+
+class TestScalarVsVector:
+    """The vector evaluator is a third interpretation of the same trees;
+    its lanes must agree bit for bit with the scalar interpreter (which
+    TestRandomExpressions pins against the AIG lowering — a three-way
+    cross-check in total)."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_seeded_trees(self, seed):
+        rng = random.Random(20_000 + seed)
+        pairs = [(rng.randrange(16), rng.randrange(8)) for _ in range(8)]
+        build_and_compare_vector(seed, pairs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500),
+           pairs=st.lists(st.tuples(st.integers(0, 15), st.integers(0, 7)),
+                          min_size=1, max_size=6))
+    def test_hypothesis_trees(self, seed, pairs):
+        build_and_compare_vector(seed, pairs)
 
 
 class TestOperatorEdges:
