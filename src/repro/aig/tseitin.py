@@ -22,6 +22,15 @@ hit under a different label adds no clauses.  That is sound for
 proof-based abstraction — any core that uses the shared triple attributes
 it to a context that really does imply the gate's function — and it is
 pinned by a dedicated test (``tests/test_strash.py``).
+
+Native ITE lowering (``ite=True``, the default) recognizes the two-level
+``or(and(s, t), and(!s, e))`` shape — the AIG spelling of every mux the
+word layer builds, and of xor (``t = !e``) — and emits one variable with
+the four ITE clauses instead of three AND triples (3 vars, 9 clauses).
+The inner AND nodes get no CNF at all; ``ites_emitted`` counts the
+lowered shapes, and a strash-style cache keyed on the normalized
+``(sel, t, e)`` SAT literals shares repeated ITEs the same way the gate
+cache shares triples.
 """
 
 from __future__ import annotations
@@ -41,9 +50,15 @@ class CnfEmitter:
         Enable the CNF-level gate-triple cache described in the module
         docstring.  ``strash_hits`` counts gate emissions answered from
         the cache (no new variable, no new clauses).
+    ite:
+        Detect ``or(and(s, t), and(!s, e))`` shapes and emit the
+        1-var/4-clause native ITE form instead of three AND triples.
+        ``False`` restores the plain per-node Tseitin lowering (the
+        ablation the accounting closed forms were derived against).
     """
 
-    def __init__(self, aig: Aig, solver: Solver, strash: bool = True) -> None:
+    def __init__(self, aig: Aig, solver: Solver, strash: bool = True,
+                 ite: bool = True) -> None:
         self.aig = aig
         self.solver = solver
         self._var_of: dict[int, int] = {}  # AIG node index -> SAT var
@@ -52,8 +67,15 @@ class CnfEmitter:
         self._const_var: Optional[int] = None
         #: canonical (fanin SAT lit, fanin SAT lit) -> gate output var
         self._gate_cache: Optional[dict[tuple[int, int], int]] = {} if strash else None
+        self._ite = ite
+        #: normalized (sel, t, e) SAT lits -> ITE output var (strash only)
+        self._ite_cache: Optional[dict[tuple[int, int, int], int]] = \
+            {} if (strash and ite) else None
         #: Count of AND-gate clause triples emitted (for size accounting).
         self.gates_emitted = 0
+        #: Count of mux/xor shapes lowered to the native 4-clause ITE
+        #: form (each replaces up to three AND triples).
+        self.ites_emitted = 0
         #: Gate triples answered from the CNF-level cache.
         self.strash_hits = 0
 
@@ -187,6 +209,45 @@ class CnfEmitter:
                 stack.pop()
                 continue
             a, b = fan
+            ite = self._detect_ite(a, b) if self._ite else None
+            if ite is not None:
+                sel, t, e = ite
+                missing = False
+                for lt in (sel, t, e):
+                    li = lt >> 1
+                    if li != 0 and li not in var_of:
+                        stack.append(li)
+                        missing = True
+                if missing:
+                    continue  # node stays; re-detected once fanins exist
+                stack.pop()
+                ls = self._existing_lit(sel)
+                lt = self._existing_lit(t)
+                le = self._existing_lit(e)
+                if ls < 0:
+                    # ITE(!s, t, e) == ITE(s, e, t): normalize to a
+                    # positive selector so the cache is polarity-blind.
+                    ls, lt, le = -ls, le, lt
+                ite_cache = self._ite_cache
+                if ite_cache is not None:
+                    hit = ite_cache.get((ls, lt, le))
+                    if hit is not None:
+                        var_of[idx] = hit
+                        self.strash_hits += 1
+                        continue
+                # The node is AND(!and(s,t), !and(!s,e)) == !ITE(s,t,e):
+                # v <-> !(s ? t : e) in four clauses, one variable.  The
+                # inner AND nodes never get CNF.
+                v = solver.new_var()
+                var_of[idx] = v
+                solver.add_clause([-ls, -lt, -v], label)
+                solver.add_clause([-ls, lt, v], label)
+                solver.add_clause([ls, -le, -v], label)
+                solver.add_clause([ls, le, v], label)
+                self.ites_emitted += 1
+                if ite_cache is not None:
+                    ite_cache[(ls, lt, le)] = v
+                continue
             ai, bi = a >> 1, b >> 1
             missing = False
             if ai != 0 and ai not in var_of:
@@ -217,6 +278,38 @@ class CnfEmitter:
             self.gates_emitted += 1
             if gate_cache is not None:
                 gate_cache[key] = v
+
+    def _detect_ite(self, a: int, b: int) -> Optional[tuple[int, int, int]]:
+        """Match ``AND(a, b) == !ITE(sel, t, e)`` against the mux shape.
+
+        Requires both fanins to be negated AND nodes sharing a
+        complementary selector literal — ``a = !and(sel, t)``,
+        ``b = !and(!sel, e)`` in either order/pairing (xor matches with
+        ``t = !e``).  Returns ``(sel, t, e)`` AIG literals, or None.
+        Nodes whose inner ANDs are both lowered already are left to the
+        plain triple path: one 3-clause triple over the existing vars
+        beats a 4-clause ITE there.
+        """
+        if not (a & 1 and b & 1):
+            return None
+        ai, bi = a >> 1, b >> 1
+        if ai == 0 or bi == 0:
+            return None
+        fanins = self.aig._fanins
+        fa = fanins[ai]
+        fb = fanins[bi]
+        if fa is None or fb is None:
+            return None
+        var_of = self._var_of
+        if ai in var_of and bi in var_of:
+            return None
+        for s in fa:
+            for u in fb:
+                if u == s ^ 1:
+                    t = fa[1] if fa[0] == s else fa[0]
+                    e = fb[1] if fb[0] == u else fb[0]
+                    return (s, t, e)
+        return None
 
     def _existing_lit(self, aig_lit: int) -> int:
         idx = aig_lit >> 1

@@ -35,6 +35,7 @@ from repro.bmc.counterexample import extract_trace
 from repro.bmc.results import BOUNDED, CEX, PROOF, TIMEOUT, BmcResult, BmcRunStats
 from repro.bmc.session import EncodingSession
 from repro.design.netlist import Design
+from repro.perf import PhaseTimers, solver_phase_times
 
 
 @dataclass(frozen=True)
@@ -108,6 +109,20 @@ class BmcOptions:
     #: which limit actually fired.
     timeout_s: Optional[float] = None
     max_conflicts_per_check: Optional[int] = None
+    #: Run the session's solver with its historical baseline CDCL loop
+    #: instead of the fast back-end (blocker literals, dedicated binary
+    #: watch lists, LBD clause tiers, root-level clause shrinking,
+    #: assumption-trail reuse).  The baseline is the differential oracle
+    #: for the fast machinery — verdicts, models, failed-assumption sets
+    #: and core labels must agree (``tests/test_solver_fast.py``).
+    solver_baseline: bool = False
+    #: Collect wall-clock phase breakdowns into
+    #: :attr:`repro.bmc.results.BmcRunStats.profile`: scheduler-level
+    #: encode vs solve, plus the solver's internal
+    #: propagate/analyze/reduce/simplify split.  A *run* knob (CLI
+    #: ``--profile``): it changes what is measured, never what is
+    #: encoded, so it is excluded from :meth:`encoding_key`.
+    profile: bool = False
 
     def encoding_key(self) -> tuple:
         """Hashable key of every field that shapes the *encoding*.
@@ -115,7 +130,10 @@ class BmcOptions:
         Two options values with equal keys produce literal-for-literal
         identical sessions, so a cached session may serve either; the
         per-run knobs (``max_depth``, ``timeout_s``,
-        ``max_conflicts_per_check``, ``validate_cex``) are excluded.
+        ``max_conflicts_per_check``, ``validate_cex``, ``profile``) are
+        excluded.  ``solver_baseline`` is *included*: it selects the
+        solver back-end the session is built on, and fast and baseline
+        sessions must never be cache-aliased.
         """
         ports = self.kept_read_ports
         ports_key = (None if ports is None else
@@ -127,7 +145,8 @@ class BmcOptions:
                 self.emm_encoding, self.init_consistency,
                 self.emm_addr_dedup, self.strash, self.emm_chain_share,
                 self.emm_hybrid_strash, self.kept_latches,
-                self.kept_memories, ports_key, groups_key)
+                self.kept_memories, ports_key, groups_key,
+                self.solver_baseline)
 
 
 def bmc1(**kw) -> BmcOptions:
@@ -152,6 +171,25 @@ def bmc3(**kw) -> BmcOptions:
     kw.setdefault("find_proof", True)
     kw.setdefault("pba", True)
     return BmcOptions(**kw)
+
+
+class _RunState:
+    """Mutable per-run bookkeeping shared by :meth:`BmcEngine.run` and the
+    depth-major :func:`verify_many` scheduler (one instance per engine)."""
+
+    __slots__ = ("stats", "t_start", "deadline", "budget", "timers",
+                 "forward_memo")
+
+    def __init__(self, stats: BmcRunStats, t_start: float,
+                 deadline: Optional[float], budget: Optional[int],
+                 timers: Optional[PhaseTimers],
+                 forward_memo: Optional[dict]) -> None:
+        self.stats = stats
+        self.t_start = t_start
+        self.deadline = deadline
+        self.budget = budget
+        self.timers = timers
+        self.forward_memo = forward_memo
 
 
 class BmcEngine:
@@ -246,62 +284,99 @@ class BmcEngine:
         lo, hi = (0, opts.max_depth) if window is None else window
         if not 0 <= lo <= hi:
             raise ValueError(f"bad depth window ({lo}, {hi})")
-        session = self.session
-        solver = session.solver
-        prop_name = self.prop.name
-        stats = BmcRunStats()
+        rs = self._begin_run()
+        for i in range(lo, hi + 1):
+            result = self._step_depth(rs, i)
+            if result is not None:
+                return result
+            if stop_check is not None and stop_check(self, i):
+                return self._finish(BOUNDED, i, rs, None)
+            if rs.deadline is not None and time.monotonic() > rs.deadline:
+                rs.stats.limit_tripped = "wall"
+                return self._finish(TIMEOUT, i, rs, None)
+        return self._finish(BOUNDED, hi, rs, None)
+
+    # -- run scaffolding (shared with the verify_many scheduler) -------------
+
+    def _begin_run(self, forward_memo: Optional[dict] = None) -> _RunState:
+        """Start a run: stats, deadline, conflict budget, profiling.
+
+        ``forward_memo`` (depth -> SolveResult) lets the depth-major
+        :func:`verify_many` scheduler share forward-termination checks
+        across engines on one session — the check assumes only
+        ``[a_init, a_meminit] + LFP_i`` and is property-independent.
+        """
+        opts = self.options
         t_start = time.monotonic()
         deadline = (t_start + opts.timeout_s
                     if opts.timeout_s is not None else None)
-        budget = opts.max_conflicts_per_check
+        timers = PhaseTimers() if opts.profile else None
+        if opts.profile:
+            self.solver.profile = True
+        return _RunState(BmcRunStats(), t_start, deadline,
+                         opts.max_conflicts_per_check, timers, forward_memo)
 
-        def solve(assumps):
-            r = solver.solve(assumps, budget, deadline)
-            if r.unknown:
-                stats.limit_tripped = ("wall" if r.limit == "deadline"
-                                       else "conflicts")
-            return r
+    def _solve(self, rs: _RunState, assumps: list[int]):
+        solver = self.session.solver
+        if rs.timers is None:
+            r = solver.solve(assumps, rs.budget, rs.deadline)
+        else:
+            with rs.timers.measure("solve"):
+                r = solver.solve(assumps, rs.budget, rs.deadline)
+        if r.unknown:
+            rs.stats.limit_tripped = ("wall" if r.limit == "deadline"
+                                      else "conflicts")
+        return r
 
-        for i in range(lo, hi + 1):
-            t_depth = time.monotonic()
+    def _step_depth(self, rs: _RunState, i: int) -> Optional[BmcResult]:
+        """Run one depth's checks.  Returns the final result if the run
+        concluded at this depth, else None (depth time recorded)."""
+        opts = self.options
+        session = self.session
+        t_depth = time.monotonic()
+        if rs.timers is None:
             session.extend_to(i)
-            p = session.p_lits(prop_name, i)
-            if opts.find_proof:
-                lfp = session.lfp_assumptions(i)
-                r = solve([session.a_init, session.a_meminit] + lfp)
-                if r.unknown:
-                    return self._finish(TIMEOUT, i, stats, t_start, t_depth)
-                if not r.sat:
-                    return self._finish(PROOF, i, stats, t_start, t_depth,
-                                        method="forward")
-                # Backward induction: arbitrary start state, so neither
-                # a_init nor a_meminit is assumed — the memory fall-through
-                # stays symbolic (Section 4.2).
-                assumps = lfp + p[:i] + [-p[i]]
-                r = solve(assumps)
-                if r.unknown:
-                    return self._finish(TIMEOUT, i, stats, t_start, t_depth)
-                if not r.sat:
-                    return self._finish(PROOF, i, stats, t_start, t_depth,
-                                        method="backward")
-            r = solve([session.a_init, session.a_meminit, -p[i]])
+            p = session.p_lits(self.prop.name, i)
+        else:
+            with rs.timers.measure("encode"):
+                session.extend_to(i)
+                p = session.p_lits(self.prop.name, i)
+        if opts.find_proof:
+            lfp = session.lfp_assumptions(i)
+            memo = rs.forward_memo
+            r = None if memo is None else memo.get(i)
+            if r is None:
+                r = self._solve(rs,
+                                [session.a_init, session.a_meminit] + lfp)
+                if memo is not None and not r.unknown:
+                    # Only definitive verdicts are shared; an unknown
+                    # (limit-tripped) result stays private to this run.
+                    memo[i] = r
             if r.unknown:
-                return self._finish(TIMEOUT, i, stats, t_start, t_depth)
-            if r.sat:
-                return self._finish(CEX, i, stats, t_start, t_depth)
-            if opts.pba:
-                self._collect_reasons(i)
-            # The depth's time is recorded exactly once: here for depths
-            # the loop completes, inside _finish for early-return paths
-            # (which pass t_depth); paths below pass None so the final
-            # depth is never double-counted.
-            stats.time_per_depth.append(time.monotonic() - t_depth)
-            if stop_check is not None and stop_check(self, i):
-                return self._finish(BOUNDED, i, stats, t_start, None)
-            if deadline is not None and time.monotonic() > deadline:
-                stats.limit_tripped = "wall"
-                return self._finish(TIMEOUT, i, stats, t_start, None)
-        return self._finish(BOUNDED, hi, stats, t_start, None)
+                return self._finish(TIMEOUT, i, rs, t_depth)
+            if not r.sat:
+                return self._finish(PROOF, i, rs, t_depth, method="forward")
+            # Backward induction: arbitrary start state, so neither
+            # a_init nor a_meminit is assumed — the memory fall-through
+            # stays symbolic (Section 4.2).
+            r = self._solve(rs, lfp + p[:i] + [-p[i]])
+            if r.unknown:
+                return self._finish(TIMEOUT, i, rs, t_depth)
+            if not r.sat:
+                return self._finish(PROOF, i, rs, t_depth, method="backward")
+        r = self._solve(rs, [session.a_init, session.a_meminit, -p[i]])
+        if r.unknown:
+            return self._finish(TIMEOUT, i, rs, t_depth)
+        if r.sat:
+            return self._finish(CEX, i, rs, t_depth)
+        if opts.pba:
+            self._collect_reasons(i)
+        # The depth's time is recorded exactly once: here for depths the
+        # run continues past, inside _finish for early-return paths
+        # (which pass t_depth); continuation-level finishes pass None so
+        # the final depth is never double-counted.
+        rs.stats.time_per_depth.append(time.monotonic() - t_depth)
+        return None
 
     # -- helpers -------------------------------------------------------------
 
@@ -316,8 +391,8 @@ class BmcEngine:
         self._lr.append(prev_l | latches)
         self._mr.append(prev_m | mems)
 
-    def _finish(self, status: str, depth: int, stats: BmcRunStats,
-                t_start: float, t_depth: Optional[float],
+    def _finish(self, status: str, depth: int, rs: _RunState,
+                t_depth: Optional[float],
                 method: Optional[str] = None) -> BmcResult:
         """Build the result.  ``t_depth`` is the final depth's start time
         when its duration has not been appended yet, or None when the run
@@ -328,9 +403,10 @@ class BmcEngine:
         what the C6 bench compares against per-property fresh engines.
         """
         session = self.session
+        stats = rs.stats
         if t_depth is not None:
             stats.time_per_depth.append(time.monotonic() - t_depth)
-        stats.wall_time_s = time.monotonic() - t_start
+        stats.wall_time_s = time.monotonic() - rs.t_start
         stats.sat_vars = self.solver.num_vars
         stats.sat_clauses = self.solver.num_clauses
         stats.solver = self.solver.stats.snapshot()
@@ -353,7 +429,15 @@ class BmcEngine:
         stats.strash_hits = session.aig.strash_hits + session.emitter.strash_hits
         stats.strash_folds = session.aig.strash_folds
         stats.aig_nodes = session.aig.num_ands
+        stats.ite_lowered = session.emitter.ites_emitted
         stats.peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        if rs.timers is not None:
+            # Solver-internal times are session-wide cumulative, like the
+            # other solver counters; the scheduler phases are this run's.
+            stats.profile = {
+                "phases": rs.timers.snapshot(),
+                "solver": solver_phase_times(stats.solver),
+            }
         trace = None
         validated = None
         if status == CEX:
@@ -399,16 +483,66 @@ def verify_many(design: Design, property_names=None,
                 ) -> dict[str, BmcResult]:
     """Verify several properties over **one** shared encoding session.
 
-    The first property pays for the unrolled CNF; every further property
-    reuses it (plus the solver's learned clauses) and adds only its own
-    ``P_i`` literals.  Verdicts are identical to per-property
-    :func:`verify` runs — checks are assumption sets, invisible to each
-    other.  ``property_names`` defaults to all properties, sorted.
+    The scheduler is *depth-major*: at each depth the frame is encoded
+    once and every still-live property's ``P_i`` cone is emitted before
+    any check runs, then each live engine steps its forward/backward/
+    falsification checks for that depth.  That ordering buys two solver-
+    level wins on top of the shared CNF:
+
+    * **Forward-check memoization** — the forward termination check
+      assumes only ``[a_init, a_meminit] + LFP_i`` and is property-
+      independent, so its definitive result at each depth is solved once
+      and shared by every engine (``_begin_run``'s ``forward_memo``).
+      The memo is local to this call: single-engine :meth:`BmcEngine.run`
+      stays bit-identical to its historical behaviour.
+    * **Assumption-trail reuse** — because no clauses are added between
+      sibling checks at one depth, the fast solver back-end keeps the
+      propagated ``[a_init, a_meminit]`` assumption prefix (the whole
+      initial-state cone) assigned across consecutive falsification
+      checks instead of re-propagating it per property
+      (``SolverStats.trail_saved_levels``).
+
+    Verdicts are identical to per-property :func:`verify` runs — checks
+    are assumption sets, invisible to each other, and each engine still
+    runs its own checks in the forward -> backward -> falsification
+    order.  ``property_names`` defaults to all properties, sorted.
     """
     if session is None:
         session = EncodingSession(design, options)
     names = (sorted(design.properties) if property_names is None
              else list(property_names))
-    return {name: BmcEngine(session.design, name, options,
-                            session=session).run()
-            for name in names}
+    engines = {name: BmcEngine(session.design, name, options,
+                               session=session)
+               for name in names}
+    if not engines:
+        return {}
+    opts = options or session.options
+    forward_memo: dict = {}
+    states = {name: engines[name]._begin_run(forward_memo)
+              for name in names}
+    results: dict[str, BmcResult] = {}
+    live = list(names)
+    for i in range(0, opts.max_depth + 1):
+        if not live:
+            break
+        session.extend_to(i)
+        for name in live:
+            # Emit every live property's cone up front: later checks at
+            # this depth then add no clauses, so the solver's saved
+            # assumption trail survives from check to check.
+            session.p_lits(name, i)
+        for name in list(live):
+            engine = engines[name]
+            rs = states[name]
+            result = engine._step_depth(rs, i)
+            if result is None and rs.deadline is not None \
+                    and time.monotonic() > rs.deadline:
+                rs.stats.limit_tripped = "wall"
+                result = engine._finish(TIMEOUT, i, rs, None)
+            if result is not None:
+                results[name] = result
+                live.remove(name)
+    for name in live:
+        results[name] = engines[name]._finish(BOUNDED, opts.max_depth,
+                                              states[name], None)
+    return {name: results[name] for name in names}

@@ -59,7 +59,17 @@ class BmcRunStats:
     strash_folds: int = 0
     #: AND nodes in the final AIG (after strashing, when enabled).
     aig_nodes: int = 0
+    #: Mux/xor shapes the Tseitin emitter lowered to the native
+    #: 1-var/4-clause ITE form instead of three AND triples
+    #: (:class:`repro.aig.tseitin.CnfEmitter`).
+    ite_lowered: int = 0
     peak_rss_mb: float = 0.0
+    #: Wall-clock phase breakdown, populated only under
+    #: ``BmcOptions.profile`` (CLI ``--profile``): scheduler-level
+    #: ``encode`` vs ``solve`` phases as ``{"s": seconds, "n": calls}``,
+    #: plus the solver's internal propagate/analyze/reduce/simplify
+    #: times under ``solver_*`` keys.  Empty when profiling is off.
+    profile: dict = field(default_factory=dict)
     #: Which abort limit fired on a TIMEOUT outcome: ``"wall"``
     #: (``BmcOptions.timeout_s``, enforced as an in-check deadline) or
     #: ``"conflicts"`` (``max_conflicts_per_check``); None when no limit
@@ -72,7 +82,8 @@ class BmcRunStats:
 
     def to_dict(self) -> dict:
         return dict(self.__dict__, solver=dict(self.solver),
-                    time_per_depth=list(self.time_per_depth))
+                    time_per_depth=list(self.time_per_depth),
+                    profile=dict(self.profile))
 
 
 @dataclass

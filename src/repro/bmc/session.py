@@ -68,10 +68,19 @@ class EncodingSession:
             raise ValueError(
                 "design has memories but use_emm=False; expand them first "
                 "(repro.design.expand_memories) for the explicit baseline")
-        self.solver = Solver(proof=options.pba)
+        self.solver = Solver(proof=options.pba,
+                             fast=not options.solver_baseline)
         self.aig = Aig(strash=options.strash)
+        # PBA sessions keep the plain AND-triple lowering: the ITE form
+        # is function-equivalent but collapses each mux's two inner AND
+        # provenance points into one 4-clause emission, which yields
+        # legally-smaller UNSAT cores that can starve the reason-based
+        # abstraction of latches the proof run still needs (quicksort
+        # P2 regression).  `pba` is part of encoding_key, so fast and
+        # ITE-lowered sessions are never cache-aliased with these.
         self.emitter = CnfEmitter(self.aig, self.solver,
-                                  strash=options.strash)
+                                  strash=options.strash,
+                                  ite=not options.pba)
         self.unroller = Unroller(design, self.emitter, options.kept_latches)
         self.a_init = self.solver.new_var()
         self.a_lfp = self.solver.new_var()

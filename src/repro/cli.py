@@ -143,7 +143,9 @@ def _verify_options(args) -> BmcOptions:
         return BmcOptions(use_emm=False, find_proof=not args.no_proof,
                           max_depth=args.max_depth,
                           strash=not args.no_strash,
-                          timeout_s=args.timeout)
+                          timeout_s=args.timeout,
+                          solver_baseline=args.solver_baseline,
+                          profile=args.profile)
     return BmcOptions(use_emm=True,
                       find_proof=(args.engine != "bmc2") and not args.no_proof,
                       max_depth=args.max_depth,
@@ -153,7 +155,19 @@ def _verify_options(args) -> BmcOptions:
                       strash=not args.no_strash,
                       emm_chain_share=not args.no_chain_share,
                       emm_hybrid_strash=not args.no_hybrid_strash,
-                      timeout_s=args.timeout)
+                      timeout_s=args.timeout,
+                      solver_baseline=args.solver_baseline,
+                      profile=args.profile)
+
+
+def _print_profile(profile: dict) -> None:
+    """Render a run's wall-clock phase breakdown (``--profile``)."""
+    for phase, rec in sorted(profile.get("phases", {}).items(),
+                             key=lambda kv: -kv[1]["s"]):
+        print(f"  profile {phase:<18s} {rec['s']:8.3f}s (n={rec['n']})")
+    for phase, secs in sorted(profile.get("solver", {}).items(),
+                              key=lambda kv: -kv[1]):
+        print(f"  profile solver.{phase:<11s} {secs:8.3f}s")
 
 
 def cmd_verify(args) -> int:
@@ -182,6 +196,8 @@ def cmd_verify(args) -> int:
             json_out.append(result.to_dict())
         else:
             print(result.describe())
+            if args.profile and result.stats.profile:
+                _print_profile(result.stats.profile)
         trace = result.trace
         if trace is not None and args.shrink and result.trace_validated:
             shrunk = shrink_trace(design, name, trace)
@@ -322,6 +338,16 @@ def main(argv=None) -> int:
     p_verify.add_argument("--show-trace", action="store_true")
     p_verify.add_argument("--shrink", action="store_true",
                           help="minimize counterexample traces")
+    p_verify.add_argument("--solver-baseline", action="store_true",
+                          help="run the historical baseline CDCL loop "
+                               "instead of the fast solver back-end "
+                               "(blocker literals, binary watchers, LBD "
+                               "tiers, assumption-trail reuse) — the "
+                               "differential oracle for A/B timing")
+    p_verify.add_argument("--profile", action="store_true",
+                          help="measure wall-clock phases (encode vs "
+                               "solve, and the solver's propagate/"
+                               "analyze/reduce/simplify split)")
     p_verify.add_argument("--jobs", type=int, default=1,
                           help="worker processes for multi-property "
                                "verification (1 = in-process on one "

@@ -430,8 +430,9 @@ class EmmMemory:
         is bound by ``RE -> RD == value`` (``2n`` clauses), which leaves
         RD free while RE is low exactly like the raw back-end.  Counter
         semantics follow the gate encoder: ``excl_gates`` counts AIG
-        nodes, ``rd_clauses`` the lowered gate triples (3 clauses each)
-        plus the forced read-data clauses; sharing is reported through
+        nodes, ``rd_clauses`` the lowered gate triples (3 clauses each),
+        native ITE lowerings (4 clauses each) and the forced read-data
+        clauses; sharing is reported through
         ``strash_hits`` / ``strash_folds`` / ``chain_suffix_hits``.
         """
         aig = self.aig
@@ -442,6 +443,7 @@ class EmmMemory:
         label_excl = ("emm", self.name, "excl")
         ands0 = aig.num_ands
         triples0 = em.gates_emitted
+        ites0 = em.ites_emitted
         hits0 = aig.strash_hits + em.strash_hits
         folds0 = aig.strash_folds
         # Match signals s = E ∧ WE, oldest pair first (the comparator
@@ -496,7 +498,10 @@ class EmmMemory:
             self._clause([-read.en, read.data[b], -v_sats[b]],
                          label_rd, c, "rd_clauses")
         c.excl_gates += aig.num_ands - ands0
-        c.rd_clauses += 3 * (em.gates_emitted - triples0)
+        # Lowered chain CNF: 3 clauses per gate triple plus 4 per native
+        # ITE lowering (each mux the emitter collapses to one var).
+        c.rd_clauses += (3 * (em.gates_emitted - triples0)
+                         + 4 * (em.ites_emitted - ites0))
         c.strash_hits += aig.strash_hits + em.strash_hits - hits0
         c.strash_folds += aig.strash_folds - folds0
 

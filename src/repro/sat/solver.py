@@ -9,6 +9,25 @@ clauses record the tuple of clause ids resolved while deriving them
 original clauses sufficient for unsatisfiability — the paper's
 ``SAT_Get_Refutation`` step (Figure 1, line 10) that feeds proof-based
 abstraction.
+
+Two propagation back-ends share the search loop:
+
+* **fast** (default) — MiniSat-2.2/Glucose-class machinery: a dedicated
+  binary-implication watch list that propagates 2-literal clauses (the
+  EMM-dominant shape) without touching clause objects, ``(cid, blocker)``
+  pairs in the long-clause watch lists so satisfied clauses are skipped
+  on the blocker alone, LBD (glue) scoring with a tiered clause-database
+  reduction (glue <= 2 pinned), root-level shrinking of learned clauses
+  against permanent level-0 units, and assumption-trail reuse — a solve
+  whose assumption list shares a prefix with the previous solve keeps
+  the propagated prefix assigned instead of cancelling to level 0.
+* **baseline** (``fast=False``) — the historical single-watch-scheme
+  implementation, kept bit-for-bit as the differential oracle
+  (``BmcOptions.solver_baseline`` / CLI ``--solver-baseline``).
+
+Both back-ends produce identical verdicts, models satisfying the CNF,
+sound failed-assumption sets and proof-checkable cores; search order
+(and therefore the exact learned clauses and cores) may differ.
 """
 
 from __future__ import annotations
@@ -129,6 +148,20 @@ class SolverStats:
     learned: int = 0
     deleted: int = 0
     solves: int = 0
+    #: Decision levels retained by assumption-trail reuse (fast mode):
+    #: summed over solves, each counting the prefix of assumption levels
+    #: kept assigned instead of being cancelled and re-propagated.
+    trail_saved_levels: int = 0
+    #: Learned clauses shrunk / literals removed by root-level
+    #: simplification against permanent level-0 units (fast mode).
+    shrunk_clauses: int = 0
+    shrunk_lits: int = 0
+    #: Wall-clock phase breakdown, populated only while
+    #: :attr:`Solver.profile` is True (see ``repro.perf``).
+    time_propagate_s: float = 0.0
+    time_analyze_s: float = 0.0
+    time_reduce_s: float = 0.0
+    time_simplify_s: float = 0.0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
@@ -166,22 +199,48 @@ class Solver:
         in its derivation so unsat cores can be extracted.  BMC with PBA
         requires this; plain falsification runs may disable it to save
         memory.
+    fast:
+        Select the modern propagation back-end (binary watchers, blocker
+        literals, LBD-tiered reduction, assumption-trail reuse — see the
+        module docstring).  ``False`` runs the historical baseline, kept
+        as the differential oracle.
     """
 
-    def __init__(self, proof: bool = True) -> None:
+    #: Tier bounds for the fast reduce: learned clauses with glue (LBD)
+    #: <= LBD_CORE are never deleted; glue <= LBD_TIER2 clauses survive a
+    #: reduction round when they were used in an analysis since the last
+    #: one; the rest ("local" tier) compete on activity.
+    LBD_CORE = 2
+    LBD_TIER2 = 6
+
+    def __init__(self, proof: bool = True, fast: bool = True) -> None:
         self.proof_logging = proof
+        self._fast = fast
+        #: When True, the search loop records phase wall times into
+        #: :class:`SolverStats` (``time_*_s`` fields).  Off by default —
+        #: flipped by the engine under ``BmcOptions.profile``.
+        self.profile = False
         # Variable state (index 0 unused so var numbers match list index).
         self._assigns: list[int] = [UNASSIGNED]
         self._levels: list[int] = [0]
         self._reasons: list[int] = [-1]
         self._activity: list[float] = [0.0]
         self._saved_phase: list[int] = [_FALSE]
-        # Watches indexed by internal literal.
-        self._watches: list[list[int]] = [[], []]
+        # Watches indexed by internal literal.  Baseline entries are bare
+        # clause ids; fast entries are ``(cid, blocker)`` pairs.
+        self._watches: list[list] = [[], []]
+        # Fast mode: 2-literal clauses live here as ``(cid, other_lit)``
+        # and are propagated without touching the clause object.
+        self._bin_watches: list[list[tuple[int, int]]] = [[], []]
         # Clause database: list of literal-lists (None when deleted).
         self._clauses: list[Optional[list[int]]] = []
         self._learned_ids: list[int] = []
         self._clause_act: dict[int, float] = {}
+        #: Learned cid -> glue (LBD) at learn time, lowered dynamically
+        #: when the clause is used in an analysis (fast mode only).
+        self._clause_lbd: dict[int, int] = {}
+        #: Learned cids used in an analysis since the last _reduce_db.
+        self._clause_used: set[int] = set()
         self._labels: dict[int, Hashable] = {}
         self._n_original = 0
         # Proof bookkeeping: learned cid -> tuple of antecedent cids.
@@ -193,6 +252,13 @@ class Solver:
         # Trail.
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
+        #: Parallel to _trail_lim: the assumption literal decided (or
+        #: found already true) at each level, 0 for free search
+        #: decisions.  This is what assumption-trail reuse matches the
+        #: next solve's assumption list against.
+        self._assump_levels: list[int] = []
+        #: Level-0 trail length the last _simplify_learned ran against.
+        self._simplified_fixed = 0
         self._qhead = 0
         # Heuristics.
         self._var_inc = 1.0
@@ -214,6 +280,11 @@ class Solver:
     # Public API
     # ------------------------------------------------------------------
 
+    @property
+    def fast(self) -> bool:
+        """Whether the modern (non-baseline) back-end is active."""
+        return self._fast
+
     def new_var(self) -> int:
         """Allocate and return a fresh variable (positive integer)."""
         self._assigns.append(UNASSIGNED)
@@ -223,6 +294,8 @@ class Solver:
         self._saved_phase.append(_FALSE)
         self._watches.append([])
         self._watches.append([])
+        self._bin_watches.append([])
+        self._bin_watches.append([])
         self._seen.append(False)
         var = len(self._assigns) - 1
         self._order.grow()
@@ -311,6 +384,11 @@ class Solver:
     #: in the profile.
     DEADLINE_CONFLICT_STEP = 16
 
+    #: ...and once per this many decisions, so a propagation/decision-
+    #: heavy (SAT-leaning) solve that rarely conflicts still honours the
+    #: deadline instead of blowing far past ``timeout_s``.
+    DEADLINE_DECISION_STEP = 64
+
     def solve(self, assumptions: Sequence[int] = (),
               max_conflicts: Optional[int] = None,
               deadline: Optional[float] = None) -> SolveResult:
@@ -325,10 +403,16 @@ class Solver:
         next conflict aborts with ``unknown=True`` and ``limit =
         "conflicts"``.  ``deadline`` (a ``time.monotonic()`` instant)
         bounds wall time: the loop polls the clock on stepped conflict
-        counts and aborts with ``limit = "deadline"`` once passed, so a
-        single hard check cannot blow through a caller's wall budget.  A
-        conflict at decision level 0 still returns the definitive UNSAT
-        answer regardless of either limit.
+        *and* decision counts and aborts with ``limit = "deadline"`` once
+        passed, so a single hard check cannot blow through a caller's
+        wall budget.  A conflict at decision level 0 still returns the
+        definitive UNSAT answer regardless of either limit.
+
+        In fast mode, a solve whose assumption list shares a prefix with
+        the previous solve's keeps the matching decision levels (and
+        their propagations) assigned instead of cancelling to level 0 —
+        sound because :meth:`add_clause` cancels to level 0, so a kept
+        prefix is always at propagation fixpoint for the full clause set.
         """
         self.stats.solves += 1
         if self._broken:
@@ -343,17 +427,52 @@ class Solver:
         for lt in iassumps:
             if not 1 <= (lt >> 1) <= self.num_vars:
                 raise ValueError(f"assumption {_to_external(lt)} references unknown variable")
-        self._cancel_until(0)
+        if self._fast:
+            # Assumption-trail reuse: keep the longest decision-level
+            # prefix whose assumption literals match this call's.
+            al = self._assump_levels
+            keep = 0
+            limit = min(len(al), len(iassumps))
+            while keep < limit and al[keep] == iassumps[keep]:
+                keep += 1
+            self._cancel_until(keep)
+            self.stats.trail_saved_levels += keep
+        else:
+            self._cancel_until(0)
+        prof = self.profile
+        st = self.stats
+        if prof:
+            t0 = time.perf_counter()
         confl = self._propagate()
+        if prof:
+            st.time_propagate_s += time.perf_counter() - t0
         if confl != -1:
-            self._mark_broken(self._conflict_core_at_level0(confl))
-            return self._result(False)
+            if self._decision_level() > 0:
+                # A retained prefix can only hold a pending conflict if
+                # clauses arrived since the last solve; add_clause cancels
+                # to level 0 so this is defensive — re-run from scratch.
+                self._cancel_until(0)
+                confl = self._propagate()
+            if confl != -1:
+                self._mark_broken(self._conflict_core_at_level0(confl))
+                return self._result(False)
+        if self._fast and self._decision_level() == 0:
+            if prof:
+                t0 = time.perf_counter()
+            self._simplify_learned()
+            if prof:
+                st.time_simplify_s += time.perf_counter() - t0
 
         restart_n = 0
         conflicts_budget = luby(restart_n) * 100
         conflicts_here = 0
+        decisions_here = 0
         while True:
+            if prof:
+                t0 = time.perf_counter()
             confl = self._propagate()
+            if prof:
+                st.time_propagate_s += time.perf_counter() - t0
             if confl != -1:
                 self.stats.conflicts += 1
                 conflicts_here += 1
@@ -376,9 +495,13 @@ class Solver:
                     return SolveResult(sat=False, unknown=True,
                                        limit="deadline",
                                        stats=self.stats.snapshot())
-                learnt, bt_level, used = self._analyze(confl)
+                if prof:
+                    t0 = time.perf_counter()
+                learnt, bt_level, used, lbd = self._analyze(confl)
                 self._cancel_until(bt_level)
-                self._record_learnt(learnt, used)
+                self._record_learnt(learnt, used, lbd)
+                if prof:
+                    st.time_analyze_s += time.perf_counter() - t0
                 self._decay_activities()
                 continue
             # No conflict: restart / reduce / decide.
@@ -388,9 +511,19 @@ class Solver:
                 conflicts_here = 0
                 self.stats.restarts += 1
                 self._cancel_until(0)
+                if self._fast:
+                    if prof:
+                        t0 = time.perf_counter()
+                    self._simplify_learned()
+                    if prof:
+                        st.time_simplify_s += time.perf_counter() - t0
                 continue
             if len(self._learned_ids) > self._max_learnts + len(self._trail):
+                if prof:
+                    t0 = time.perf_counter()
                 self._reduce_db()
+                if prof:
+                    st.time_reduce_s += time.perf_counter() - t0
             # Assumption decisions come first, in order.
             lvl = self._decision_level()
             if lvl < len(iassumps):
@@ -400,19 +533,30 @@ class Solver:
                     # Already satisfied: open an empty decision level so
                     # the index into `iassumps` keeps advancing.
                     self._trail_lim.append(len(self._trail))
+                    self._assump_levels.append(p)
                     continue
                 if v == _FALSE:
                     self._analyze_final(p)
                     return self._result(False)
                 self.stats.decisions += 1
                 self._trail_lim.append(len(self._trail))
+                self._assump_levels.append(p)
                 self._enqueue(p, -1)
                 continue
             p = self._pick_branch()
             if p == -1:
                 return self._result(True)
             self.stats.decisions += 1
+            decisions_here += 1
+            if (deadline is not None
+                    and decisions_here % self.DEADLINE_DECISION_STEP == 0
+                    and time.monotonic() >= deadline):
+                self._cancel_until(0)
+                return SolveResult(sat=False, unknown=True,
+                                   limit="deadline",
+                                   stats=self.stats.snapshot())
             self._trail_lim.append(len(self._trail))
+            self._assump_levels.append(0)
             self._enqueue(p, -1)
 
     def model_value(self, lit: int) -> bool:
@@ -470,7 +614,10 @@ class Solver:
 
         The antecedents are the clauses the 1UIP resolution walked through,
         plus the level-0 unit chains behind eliminated literals; together
-        they imply the learned clause by unit propagation.
+        they imply the learned clause by unit propagation.  Root-level
+        shrinking extends a clause's antecedents with the unit chains of
+        the literals it removed, so the (stronger) stored clause remains
+        derivable from its recorded antecedents.
         """
         return self._derivations.get(cid)
 
@@ -515,11 +662,21 @@ class Solver:
 
     def _attach(self, cid: int) -> None:
         # watches[L] holds the clauses currently watching literal L; they
-        # are revisited when L becomes false.
+        # are revisited when L becomes false.  Fast mode: 2-literal
+        # clauses go to the binary implication lists, longer clauses
+        # carry a blocker literal in the watch entry.
         lits = self._clauses[cid]
         assert lits is not None and len(lits) >= 2
-        self._watches[lits[0]].append(cid)
-        self._watches[lits[1]].append(cid)
+        if self._fast:
+            if len(lits) == 2:
+                self._bin_watches[lits[0]].append((cid, lits[1]))
+                self._bin_watches[lits[1]].append((cid, lits[0]))
+            else:
+                self._watches[lits[0]].append((cid, lits[1]))
+                self._watches[lits[1]].append((cid, lits[0]))
+        else:
+            self._watches[lits[0]].append(cid)
+            self._watches[lits[1]].append(cid)
 
     def _enqueue(self, ilit: int, reason: int) -> bool:
         v = self._lit_value(ilit)
@@ -534,6 +691,100 @@ class Solver:
 
     def _propagate(self) -> int:
         """Unit propagation; returns conflicting clause id or -1."""
+        if self._fast:
+            return self._propagate_fast()
+        return self._propagate_base()
+
+    def _propagate_fast(self) -> int:
+        """Fast unit propagation: binary lists first, blockers on long."""
+        trail = self._trail
+        clauses = self._clauses
+        assigns = self._assigns
+        watches = self._watches
+        bins = self._bin_watches
+        levels = self._levels
+        reasons = self._reasons
+        qhead = self._qhead
+        nprops = 0
+        while qhead < len(trail):
+            p = trail[qhead]
+            qhead += 1
+            nprops += 1
+            false_lit = p ^ 1
+            lvl = len(self._trail_lim)
+            # Binary implications: no clause-object access at all.
+            for cid, other in bins[false_lit]:
+                a = assigns[other >> 1]
+                if a == UNASSIGNED:
+                    var = other >> 1
+                    assigns[var] = (other & 1) ^ 1
+                    levels[var] = lvl
+                    reasons[var] = cid
+                    trail.append(other)
+                elif (a ^ (other & 1)) == _FALSE:
+                    self._qhead = len(trail)
+                    self.stats.propagations += nprops
+                    return cid
+            wl = watches[false_lit]
+            i = 0
+            j = 0
+            n = len(wl)
+            while i < n:
+                cid, blocker = wl[i]
+                i += 1
+                ab = assigns[blocker >> 1]
+                if ab != UNASSIGNED and (ab ^ (blocker & 1)) == _TRUE:
+                    # Satisfied via the blocker: keep the watch untouched.
+                    wl[j] = (cid, blocker)
+                    j += 1
+                    continue
+                lits = clauses[cid]
+                if lits is None:
+                    continue  # deleted clause; watcher dropped
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                a0 = assigns[first >> 1]
+                if a0 != UNASSIGNED and (a0 ^ (first & 1)) == _TRUE:
+                    wl[j] = (cid, first)
+                    j += 1
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    lk = lits[k]
+                    ak = assigns[lk >> 1]
+                    if ak == UNASSIGNED or (ak ^ (lk & 1)) == _TRUE:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        watches[lits[1]].append((cid, first))
+                        moved = True
+                        break
+                if moved:
+                    continue
+                wl[j] = (cid, first)
+                j += 1
+                if a0 == UNASSIGNED:
+                    var = first >> 1
+                    assigns[var] = (first & 1) ^ 1
+                    levels[var] = lvl
+                    reasons[var] = cid
+                    trail.append(first)
+                else:
+                    # Conflict: keep remaining watchers, stop.
+                    while i < n:
+                        wl[j] = wl[i]
+                        j += 1
+                        i += 1
+                    del wl[j:]
+                    self._qhead = len(trail)
+                    self.stats.propagations += nprops
+                    return cid
+            del wl[j:]
+        self._qhead = qhead
+        self.stats.propagations += nprops
+        return -1
+
+    def _propagate_base(self) -> int:
+        """Baseline unit propagation (the historical single-scheme path)."""
         trail = self._trail
         clauses = self._clauses
         assigns = self._assigns
@@ -595,12 +846,15 @@ class Solver:
             del wl[j:]
         return -1
 
-    def _analyze(self, confl: int) -> tuple[list[int], int, list[int]]:
+    def _analyze(self, confl: int) -> tuple[list[int], int, list[int], int]:
         """First-UIP conflict analysis.
 
-        Returns (learned clause literals, backtrack level, antecedent cids).
-        The antecedents include the level-0 unit chains behind eliminated
-        literals so that the recorded derivation is self-contained.
+        Returns (learned clause literals, backtrack level, antecedent
+        cids, glue).  The antecedents include the level-0 unit chains
+        behind eliminated literals so that the recorded derivation is
+        self-contained.  Glue (LBD — the number of distinct decision
+        levels in the learned clause) is computed here, while every
+        literal is still assigned; 0 in baseline mode.
         """
         seen = self._seen
         learnt: list[int] = [0]  # slot 0 reserved for the asserting literal
@@ -658,6 +912,10 @@ class Solver:
         learnt = minimized
         for v in cleanup:
             seen[v] = False
+        lbd = 0
+        if self._fast and len(learnt) > 1:
+            levels = self._levels
+            lbd = len({levels[q >> 1] for q in learnt})
         if len(learnt) == 1:
             bt = 0
         else:
@@ -667,7 +925,7 @@ class Solver:
                     max_i = i
             learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
             bt = self._levels[learnt[1] >> 1]
-        return learnt, bt, used
+        return learnt, bt, used, lbd
 
     def _redundant(self, ilit: int, seen: list[bool], used: list[int],
                    cleanup: list[int]) -> bool:
@@ -709,7 +967,8 @@ class Solver:
         cleanup.extend(newly_seen)
         return True
 
-    def _record_learnt(self, learnt: list[int], used: list[int]) -> None:
+    def _record_learnt(self, learnt: list[int], used: list[int],
+                       lbd: int = 0) -> None:
         cid = len(self._clauses)
         self._clauses.append(list(learnt))
         self.stats.learned += 1
@@ -721,6 +980,8 @@ class Solver:
         else:
             self._learned_ids.append(cid)
             self._clause_act[cid] = self._cla_inc
+            if self._fast:
+                self._clause_lbd[cid] = lbd
             self._attach(cid)
             self._enqueue(learnt[0], cid)
 
@@ -841,7 +1102,78 @@ class Solver:
             insert(var)
         del self._trail[bound:]
         del self._trail_lim[level:]
+        del self._assump_levels[level:]
         self._qhead = len(self._trail)
+
+    def _simplify_learned(self) -> None:
+        """Shrink learned clauses against permanent level-0 assignments.
+
+        Runs only at decision level 0 with propagation at fixpoint (solve
+        entry and restarts, fast mode).  Learned clauses satisfied at the
+        root are deleted (unless they are the reason of a level-0 literal
+        — their unit chains stay valid); false-at-root literals are
+        removed, with the removed literals' level-0 unit chains appended
+        to the clause's derivation so RUP proof checking and core
+        expansion remain sound against the stronger stored clause.
+        """
+        fixed = len(self._trail)
+        if fixed == self._simplified_fixed:
+            return
+        self._simplified_fixed = fixed
+        assigns = self._assigns
+        proof = self.proof_logging
+        locked = {self._reasons[lt >> 1] for lt in self._trail}
+        keep: list[int] = []
+        for cid in self._learned_ids:
+            lits = self._clauses[cid]
+            if lits is None:
+                continue
+            if len(lits) == 2 or cid in locked:
+                keep.append(cid)
+                continue
+            sat = False
+            nfalse = 0
+            for lt in lits:
+                a = assigns[lt >> 1]
+                if a == UNASSIGNED:
+                    continue
+                if (a ^ (lt & 1)) == _TRUE:
+                    sat = True
+                    break
+                nfalse += 1
+            if sat:
+                if proof:
+                    self._proof_lits[cid] = tuple(lits)
+                self._clauses[cid] = None  # watcher entries dropped lazily
+                self._clause_act.pop(cid, None)
+                self._clause_lbd.pop(cid, None)
+                self.stats.deleted += 1
+                continue
+            if nfalse:
+                # Watched positions (0, 1) cannot be root-false in an
+                # unsatisfied clause after level-0 propagation; guard
+                # anyway and leave such a clause untouched.
+                if (assigns[lits[0] >> 1] != UNASSIGNED
+                        or assigns[lits[1] >> 1] != UNASSIGNED):
+                    keep.append(cid)
+                    continue
+                deps: list[int] = []
+                new: list[int] = []
+                for lt in lits:
+                    a = assigns[lt >> 1]
+                    if a != UNASSIGNED and (a ^ (lt & 1)) == _FALSE:
+                        if proof:
+                            deps.extend(self._explain_level0(lt >> 1))
+                        continue
+                    new.append(lt)
+                lits[:] = new
+                if proof and deps:
+                    self._derivations[cid] = tuple(
+                        set(self._derivations[cid]) | set(deps))
+                self.stats.shrunk_clauses += 1
+                self.stats.shrunk_lits += nfalse
+            keep.append(cid)
+        self._learned_ids = keep
 
     # -- heuristics ----------------------------------------------------
 
@@ -863,6 +1195,19 @@ class Solver:
             for c in self._clause_act:
                 self._clause_act[c] *= 1e-20
             self._cla_inc *= 1e-20
+        if self._fast:
+            # Glucose-style dynamic glue: a clause used in analysis has
+            # all literals assigned, so its current LBD is well defined —
+            # keep the minimum seen.  Also marks the clause "used" for
+            # the tier-2 protection window in _reduce_db.
+            self._clause_used.add(cid)
+            old = self._clause_lbd.get(cid)
+            if old is not None and old > self.LBD_CORE:
+                lits = self._clauses[cid]
+                levels = self._levels
+                nl = len({levels[q >> 1] for q in lits})
+                if nl < old:
+                    self._clause_lbd[cid] = nl
 
     def _decay_activities(self) -> None:
         self._var_inc *= self._var_decay
@@ -878,26 +1223,68 @@ class Solver:
         return -1
 
     def _reduce_db(self) -> None:
-        """Remove the lower-activity half of non-reason learned clauses."""
+        """Trim the learned-clause database.
+
+        Baseline: remove the lower-activity half of non-reason learned
+        clauses.  Fast: tiered — "core" clauses (glue <= LBD_CORE) and
+        binaries are pinned forever, "tier2" clauses (glue <= LBD_TIER2)
+        survive the round when used in an analysis since the last
+        reduction, and the remaining "local" tier is halved worst-first
+        (highest glue, then lowest activity).
+        """
         self._max_learnts *= self._learnt_growth
         locked = {self._reasons[lt >> 1] for lt in self._trail}
-        ids = sorted(self._learned_ids, key=lambda c: self._clause_act.get(c, 0.0))
-        keep: list[int] = []
-        to_delete = len(ids) // 2
-        deleted = 0
-        for cid in ids:
+        if not self._fast:
+            ids = sorted(self._learned_ids, key=lambda c: self._clause_act.get(c, 0.0))
+            keep: list[int] = []
+            to_delete = len(ids) // 2
+            deleted = 0
+            for cid in ids:
+                lits = self._clauses[cid]
+                if lits is None:
+                    continue
+                if deleted < to_delete and cid not in locked and len(lits) > 2:
+                    if self.proof_logging:
+                        # Later derivations may cite this clause; keep its
+                        # literals for the proof checker.
+                        self._proof_lits[cid] = tuple(lits)
+                    self._clauses[cid] = None  # watcher entries dropped lazily
+                    self._clause_act.pop(cid, None)
+                    deleted += 1
+                    self.stats.deleted += 1
+                else:
+                    keep.append(cid)
+            self._learned_ids = keep
+            return
+        lbd = self._clause_lbd
+        used = self._clause_used
+        act = self._clause_act
+        worst = 1 << 30
+        keep = []
+        cands: list[int] = []
+        for cid in self._learned_ids:
             lits = self._clauses[cid]
             if lits is None:
                 continue
-            if deleted < to_delete and cid not in locked and len(lits) > 2:
-                if self.proof_logging:
-                    # Later derivations may cite this clause; keep its
-                    # literals for the proof checker.
-                    self._proof_lits[cid] = tuple(lits)
-                self._clauses[cid] = None  # watcher entries dropped lazily
-                self._clause_act.pop(cid, None)
-                deleted += 1
-                self.stats.deleted += 1
-            else:
+            glue = lbd.get(cid, worst)
+            if len(lits) <= 2 or cid in locked or glue <= self.LBD_CORE:
                 keep.append(cid)
+                continue
+            if glue <= self.LBD_TIER2 and cid in used:
+                keep.append(cid)
+                continue
+            cands.append(cid)
+        cands.sort(key=lambda c: (-lbd.get(c, worst), act.get(c, 0.0)))
+        ndel = len(cands) // 2
+        proof = self.proof_logging
+        for cid in cands[:ndel]:
+            lits = self._clauses[cid]
+            if proof:
+                self._proof_lits[cid] = tuple(lits)
+            self._clauses[cid] = None  # watcher entries dropped lazily
+            act.pop(cid, None)
+            lbd.pop(cid, None)
+            self.stats.deleted += 1
+        keep.extend(cands[ndel:])
+        used.clear()
         self._learned_ids = keep

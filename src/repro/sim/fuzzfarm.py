@@ -45,16 +45,23 @@ from repro.sim.oracle import (ExplicitOracle, Oracle, SimulatorOracle,
 from repro.sim.trace import Trace
 from repro.sim.vector import have_numpy
 
-#: The sharing-option axes the farm toggles (mirrors the differential
-#: matrix in ``tests/test_differential_matrix.py``).
-OPTION_AXES = ("strash", "emm_addr_dedup", "emm_chain_share",
-               "emm_hybrid_strash")
+#: The sharing-option axes the farm toggles (mirrors the default
+#: differential matrix in ``tests/test_differential_matrix.py``).  The
+#: raw hybrid CNF back-end (``emm_hybrid_strash=False``) is retired
+#: from the default axes — the AIG-routed back-end has been the
+#: production path since PR 5 — and survives only as the paper-exact
+#: ablation combo below.
+OPTION_AXES = ("strash", "emm_addr_dedup", "emm_chain_share")
 
 #: Default option combos: everything on and everything off — the two
-#: poles every per-axis regression lies between.  Pass more combos for
-#: the nightly full matrix.
+#: poles every per-axis regression lies between — plus the paper-exact
+#: raw hybrid CNF ablation, the one default-run coverage the retired
+#: ``emm_hybrid_strash`` axis keeps.  Pass more combos for the nightly
+#: full matrix.
 DEFAULT_COMBOS = (dict.fromkeys(OPTION_AXES, True),
-                  dict.fromkeys(OPTION_AXES, False))
+                  dict.fromkeys(OPTION_AXES, False),
+                  dict(dict.fromkeys(OPTION_AXES, True),
+                       emm_hybrid_strash=False))
 
 
 # -- random workloads (module level so service workers can pickle them) ----
@@ -174,6 +181,10 @@ class FarmConfig:
     shrink: bool = True
     #: Directory for divergence reproducer JSON files.
     out_dir: Optional[str] = None
+    #: Record a per-round SAT-vs-simulation wall-clock split
+    #: (``FarmReport.round_profile``; also written to ``out_dir`` as a
+    #: ``profile.json`` artifact).
+    profile: bool = False
 
 
 @dataclass
@@ -208,16 +219,25 @@ class FarmReport:
     divergences: list[Divergence] = field(default_factory=list)
     #: Files written for the divergences (when ``out_dir`` is set).
     artifacts: list[str] = field(default_factory=list)
+    #: One ``{"seed", "sim_s", "bmc_s"}`` dict per round when
+    #: ``FarmConfig.profile`` is on: the round's wall time split between
+    #: the simulation differential and the SAT (BMC matrix) side.
+    round_profile: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.divergences
 
     def summary(self) -> str:
-        return (f"fuzzfarm: {self.rounds} rounds, {self.trials} trials "
+        line = (f"fuzzfarm: {self.rounds} rounds, {self.trials} trials "
                 f"({self.sim_trials} sim / {self.bmc_trials} bmc), "
                 f"{len(self.divergences)} divergences, "
                 f"{self.elapsed_s:.1f}s")
+        if self.round_profile:
+            sim = sum(r["sim_s"] for r in self.round_profile)
+            bmc = sum(r["bmc_s"] for r in self.round_profile)
+            line += f" [wall: sim {sim:.1f}s / sat {bmc:.1f}s]"
+        return line
 
 
 # -- generic divergence shrinking ------------------------------------------
@@ -312,10 +332,14 @@ def run_farm(config: FarmConfig) -> FarmReport:
     if config.out_dir and report.divergences:
         report.artifacts = persist_divergences(report.divergences,
                                                config.out_dir)
+    if config.out_dir and config.profile:
+        report.artifacts.append(persist_profile(report, config.out_dir))
     return report
 
 
 def _run_round(config: FarmConfig, seed: int, report: FarmReport) -> None:
+    t_round = time.monotonic()
+    t_sim = 0.0
     design = build_fuzz_netlist(seed)
     rng = random.Random(seed ^ 0x5EED)
     stimuli = [random_stimulus(design, rng, config.depth)
@@ -349,8 +373,15 @@ def _run_round(config: FarmConfig, seed: int, report: FarmReport) -> None:
                     _explicit_differs(design, prop), prop=prop,
                     detail=f"vector={got} explicit={want}"))
 
+    t_sim = time.monotonic() - t_round
     if config.run_bmc:
         _run_bmc_matrix(config, seed, design, traces, report)
+    if config.profile:
+        report.round_profile.append({
+            "seed": seed,
+            "sim_s": round(t_sim, 6),
+            "bmc_s": round(time.monotonic() - t_round - t_sim, 6),
+        })
 
 
 def _sample_lanes(batch: int, count: int, rng: random.Random) -> list[int]:
@@ -457,6 +488,23 @@ def persist_divergences(divergences: list[Divergence],
     return paths
 
 
+def persist_profile(report: FarmReport, out_dir: str) -> str:
+    """Write the per-round SAT-vs-sim wall breakdown as a JSON artifact."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / "profile.json"
+    rounds = report.round_profile
+    path.write_text(json.dumps({
+        "rounds": rounds,
+        "totals": {
+            "sim_s": round(sum(r["sim_s"] for r in rounds), 6),
+            "bmc_s": round(sum(r["bmc_s"] for r in rounds), 6),
+            "elapsed_s": round(report.elapsed_s, 6),
+        },
+    }, indent=2, sort_keys=True))
+    return str(path)
+
+
 def replay_reproducer(path: str) -> bool:
     """Re-run one persisted divergence; True when it still diverges."""
     data = json.loads(Path(path).read_text())
@@ -507,6 +555,9 @@ def main(argv: Optional[list] = None) -> int:
     ap.add_argument("--jobs", type=int, default=1,
                     help="service worker processes for the BMC matrix")
     ap.add_argument("--scalar-lanes", type=int, default=4)
+    ap.add_argument("--profile", action="store_true",
+                    help="report each round's wall time split between "
+                         "the simulation differential and the SAT side")
     ap.add_argument("--out", default=None,
                     help="directory for divergence reproducer JSON files")
     ap.add_argument("--replay", default=None, metavar="FILE",
@@ -523,14 +574,18 @@ def main(argv: Optional[list] = None) -> int:
                         rounds=args.rounds, min_trials=args.min_trials,
                         budget_s=args.seconds, run_bmc=not args.no_bmc,
                         bmc_depth=args.bmc_depth, jobs=args.jobs,
-                        scalar_lanes=args.scalar_lanes, out_dir=args.out)
+                        scalar_lanes=args.scalar_lanes, out_dir=args.out,
+                        profile=args.profile)
     report = run_farm(config)
     print(report.summary())
+    for rp in report.round_profile:
+        print(f"  round seed={rp['seed']}: sim {rp['sim_s']:.2f}s, "
+              f"sat {rp['bmc_s']:.2f}s")
     for div in report.divergences:
         print(f"  DIVERGENCE [{div.kind}] seed={div.seed} "
               f"prop={div.prop}: {div.detail}")
     for path in report.artifacts:
-        print(f"  reproducer: {path}")
+        print(f"  artifact: {path}")
     return 1 if report.divergences else 0
 
 

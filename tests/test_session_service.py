@@ -153,13 +153,14 @@ def test_encoding_key_ignores_run_knobs_only():
     base = BmcOptions()
     same = [BmcOptions(max_depth=7), BmcOptions(timeout_s=1.5),
             BmcOptions(max_conflicts_per_check=10),
-            BmcOptions(validate_cex=False)]
+            BmcOptions(validate_cex=False), BmcOptions(profile=True)]
     for opt in same:
         assert opt.encoding_key() == base.encoding_key(), opt
     diff = [BmcOptions(find_proof=False), BmcOptions(pba=True),
             BmcOptions(emm_encoding="gates"), BmcOptions(strash=False),
             BmcOptions(kept_latches=frozenset({"x"})),
-            BmcOptions(kept_read_ports={"m": frozenset({0})})]
+            BmcOptions(kept_read_ports={"m": frozenset({0})}),
+            BmcOptions(solver_baseline=True)]
     for opt in diff:
         assert opt.encoding_key() != base.encoding_key(), opt
 
