@@ -17,13 +17,15 @@ All three are served by :class:`repro.bmc.engine.BmcEngine` through
 
 from repro.bmc.engine import (BmcEngine, BmcOptions, bmc1, bmc2, bmc3,
                               verify, verify_many)
-from repro.bmc.results import BmcResult, BmcRunStats
-from repro.bmc.session import EncodingSession, SessionCache
+from repro.bmc.results import DEGRADED, BmcResult, BmcRunStats
+from repro.bmc.session import (EncodingSession, QuotaExceededError,
+                               SessionCache)
 from repro.bmc.shrink import ShrinkResult, TraceShrinker, shrink_trace
 from repro.bmc.diameter import forward_recurrence_diameter
 
 __all__ = ["BmcEngine", "BmcOptions", "BmcResult", "BmcRunStats",
-           "EncodingSession", "SessionCache",
+           "DEGRADED", "EncodingSession", "QuotaExceededError",
+           "SessionCache",
            "bmc1", "bmc2", "bmc3", "verify", "verify_many",
            "ShrinkResult", "TraceShrinker", "shrink_trace",
            "forward_recurrence_diameter"]

@@ -32,10 +32,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.bmc.counterexample import extract_trace
-from repro.bmc.results import BOUNDED, CEX, PROOF, TIMEOUT, BmcResult, BmcRunStats
-from repro.bmc.session import EncodingSession
+from repro.bmc.results import (BOUNDED, CEX, DEGRADED, PROOF, TIMEOUT,
+                               BmcResult, BmcRunStats)
+from repro.bmc.session import EncodingSession, QuotaExceededError
 from repro.design.netlist import Design
-from repro.perf import PhaseTimers, solver_phase_times
+from repro.perf import PhaseTimers, current_rss_mb, solver_phase_times
 
 
 @dataclass(frozen=True)
@@ -109,6 +110,21 @@ class BmcOptions:
     #: which limit actually fired.
     timeout_s: Optional[float] = None
     max_conflicts_per_check: Optional[int] = None
+    #: Per-job quotas with graceful degradation.  Unlike the abort knobs
+    #: above (which surface as TIMEOUT at the depth being attempted), a
+    #: tripped quota ends the run *cleanly at depth granularity* with a
+    #: DEGRADED result whose depth is the deepest fully-checked depth —
+    #: a sound "no CEX up to depth d, budget exhausted" partial answer
+    #: that window merging folds in.  ``mem_quota_mb`` polls the
+    #: process's current RSS between depths; ``clause_var_quota`` is a
+    #: watermark on the session's clauses+variables enforced between
+    #: frames inside ``EncodingSession.extend_to``; ``wall_quota_s`` is
+    #: a wall budget for this run's depth window, also capping each
+    #: solve's deadline so one hard check cannot blow far past it.  All
+    #: three are run knobs (excluded from :meth:`encoding_key`).
+    mem_quota_mb: Optional[float] = None
+    clause_var_quota: Optional[int] = None
+    wall_quota_s: Optional[float] = None
     #: Run the session's solver with its historical baseline CDCL loop
     #: instead of the fast back-end (blocker literals, dedicated binary
     #: watch lists, LBD clause tiers, root-level clause shrinking,
@@ -130,8 +146,9 @@ class BmcOptions:
         Two options values with equal keys produce literal-for-literal
         identical sessions, so a cached session may serve either; the
         per-run knobs (``max_depth``, ``timeout_s``,
-        ``max_conflicts_per_check``, ``validate_cex``, ``profile``) are
-        excluded.  ``solver_baseline`` is *included*: it selects the
+        ``max_conflicts_per_check``, ``validate_cex``, ``profile`` and
+        the ``mem_quota_mb``/``clause_var_quota``/``wall_quota_s``
+        quotas) are excluded.  ``solver_baseline`` is *included*: it selects the
         solver back-end the session is built on, and fast and baseline
         sessions must never be cache-aliased.
         """
@@ -178,18 +195,36 @@ class _RunState:
     depth-major :func:`verify_many` scheduler (one instance per engine)."""
 
     __slots__ = ("stats", "t_start", "deadline", "budget", "timers",
-                 "forward_memo")
+                 "forward_memo", "quota_deadline")
 
     def __init__(self, stats: BmcRunStats, t_start: float,
                  deadline: Optional[float], budget: Optional[int],
                  timers: Optional[PhaseTimers],
-                 forward_memo: Optional[dict]) -> None:
+                 forward_memo: Optional[dict],
+                 quota_deadline: Optional[float] = None) -> None:
         self.stats = stats
         self.t_start = t_start
         self.deadline = deadline
         self.budget = budget
         self.timers = timers
         self.forward_memo = forward_memo
+        # Wall-quota deadline (BmcOptions.wall_quota_s): like `deadline`
+        # it caps each solve, but tripping it degrades at the previous
+        # depth instead of timing out at the attempted one.
+        self.quota_deadline = quota_deadline
+
+    def solve_deadline(self) -> Optional[float]:
+        if self.deadline is None:
+            return self.quota_deadline
+        if self.quota_deadline is None:
+            return self.deadline
+        return min(self.deadline, self.quota_deadline)
+
+    def quota_deadline_binding(self) -> bool:
+        """True when the wall *quota* is the deadline a solve just hit."""
+        return (self.quota_deadline is not None
+                and (self.deadline is None
+                     or self.quota_deadline <= self.deadline))
 
 
 class BmcEngine:
@@ -286,6 +321,9 @@ class BmcEngine:
             raise ValueError(f"bad depth window ({lo}, {hi})")
         rs = self._begin_run()
         for i in range(lo, hi + 1):
+            tripped = self._quota_trip(rs)
+            if tripped is not None:
+                return self._finish_degraded(rs, i - 1, tripped)
             result = self._step_depth(rs, i)
             if result is not None:
                 return result
@@ -310,19 +348,37 @@ class BmcEngine:
         t_start = time.monotonic()
         deadline = (t_start + opts.timeout_s
                     if opts.timeout_s is not None else None)
+        quota_deadline = (t_start + opts.wall_quota_s
+                          if opts.wall_quota_s is not None else None)
         timers = PhaseTimers() if opts.profile else None
         if opts.profile:
             self.solver.profile = True
         return _RunState(BmcRunStats(), t_start, deadline,
-                         opts.max_conflicts_per_check, timers, forward_memo)
+                         opts.max_conflicts_per_check, timers, forward_memo,
+                         quota_deadline)
+
+    def _quota_trip(self, rs: _RunState) -> Optional[str]:
+        """Which quota (if any) bars starting another depth's checks."""
+        opts = self.options
+        if (rs.quota_deadline is not None
+                and time.monotonic() > rs.quota_deadline):
+            return "wall"
+        if (opts.mem_quota_mb is not None
+                and current_rss_mb() > opts.mem_quota_mb):
+            return "mem"
+        if (opts.clause_var_quota is not None
+                and self.session.clause_var_total() > opts.clause_var_quota):
+            return "clauses"
+        return None
 
     def _solve(self, rs: _RunState, assumps: list[int]):
         solver = self.session.solver
+        deadline = rs.solve_deadline()
         if rs.timers is None:
-            r = solver.solve(assumps, rs.budget, rs.deadline)
+            r = solver.solve(assumps, rs.budget, deadline)
         else:
             with rs.timers.measure("solve"):
-                r = solver.solve(assumps, rs.budget, rs.deadline)
+                r = solver.solve(assumps, rs.budget, deadline)
         if r.unknown:
             rs.stats.limit_tripped = ("wall" if r.limit == "deadline"
                                       else "conflicts")
@@ -334,13 +390,16 @@ class BmcEngine:
         opts = self.options
         session = self.session
         t_depth = time.monotonic()
-        if rs.timers is None:
-            session.extend_to(i)
-            p = session.p_lits(self.prop.name, i)
-        else:
-            with rs.timers.measure("encode"):
-                session.extend_to(i)
+        try:
+            if rs.timers is None:
+                session.extend_to(i, opts.clause_var_quota)
                 p = session.p_lits(self.prop.name, i)
+            else:
+                with rs.timers.measure("encode"):
+                    session.extend_to(i, opts.clause_var_quota)
+                    p = session.p_lits(self.prop.name, i)
+        except QuotaExceededError as exc:
+            return self._finish_degraded(rs, i - 1, exc.kind)
         if opts.find_proof:
             lfp = session.lfp_assumptions(i)
             memo = rs.forward_memo
@@ -353,7 +412,7 @@ class BmcEngine:
                     # (limit-tripped) result stays private to this run.
                     memo[i] = r
             if r.unknown:
-                return self._finish(TIMEOUT, i, rs, t_depth)
+                return self._abort(rs, i, t_depth)
             if not r.sat:
                 return self._finish(PROOF, i, rs, t_depth, method="forward")
             # Backward induction: arbitrary start state, so neither
@@ -361,12 +420,12 @@ class BmcEngine:
             # stays symbolic (Section 4.2).
             r = self._solve(rs, lfp + p[:i] + [-p[i]])
             if r.unknown:
-                return self._finish(TIMEOUT, i, rs, t_depth)
+                return self._abort(rs, i, t_depth)
             if not r.sat:
                 return self._finish(PROOF, i, rs, t_depth, method="backward")
         r = self._solve(rs, [session.a_init, session.a_meminit, -p[i]])
         if r.unknown:
-            return self._finish(TIMEOUT, i, rs, t_depth)
+            return self._abort(rs, i, t_depth)
         if r.sat:
             return self._finish(CEX, i, rs, t_depth)
         if opts.pba:
@@ -379,6 +438,25 @@ class BmcEngine:
         return None
 
     # -- helpers -------------------------------------------------------------
+
+    def _abort(self, rs: _RunState, i: int,
+               t_depth: Optional[float]) -> BmcResult:
+        """Finish after an unknown solve: TIMEOUT at the attempted depth,
+        or — when the *wall quota* was the deadline that fired — a clean
+        DEGRADED result at the last fully-checked depth."""
+        if rs.stats.limit_tripped == "wall" and rs.quota_deadline_binding():
+            rs.stats.limit_tripped = None
+            return self._finish_degraded(rs, i - 1, "wall")
+        return self._finish(TIMEOUT, i, rs, t_depth)
+
+    def _finish_degraded(self, rs: _RunState, depth: int,
+                         kind: str) -> BmcResult:
+        """Quota trip: sound partial answer at the deepest checked depth.
+
+        ``depth`` may be ``lo - 1`` (``-1`` for unwindowed runs) when the
+        quota tripped before any depth completed — "nothing checked"."""
+        rs.stats.quota_tripped = kind
+        return self._finish(DEGRADED, depth, rs, None)
 
     def _collect_reasons(self, i: int) -> None:
         labels = self.solver.core_labels()
@@ -525,16 +603,29 @@ def verify_many(design: Design, property_names=None,
     for i in range(0, opts.max_depth + 1):
         if not live:
             break
-        session.extend_to(i)
-        for name in live:
-            # Emit every live property's cone up front: later checks at
-            # this depth then add no clauses, so the solver's saved
-            # assumption trail survives from check to check.
-            session.p_lits(name, i)
+        try:
+            session.extend_to(i, opts.clause_var_quota)
+            for name in live:
+                # Emit every live property's cone up front: later checks
+                # at this depth then add no clauses, so the solver's
+                # saved assumption trail survives from check to check.
+                session.p_lits(name, i)
+        except QuotaExceededError as exc:
+            # The shared encoding hit its watermark: every live property
+            # degrades together at the last fully-encoded depth.
+            for name in list(live):
+                results[name] = engines[name]._finish_degraded(
+                    states[name], i - 1, exc.kind)
+                live.remove(name)
+            break
         for name in list(live):
             engine = engines[name]
             rs = states[name]
-            result = engine._step_depth(rs, i)
+            tripped = engine._quota_trip(rs)
+            if tripped is not None:
+                result = engine._finish_degraded(rs, i - 1, tripped)
+            else:
+                result = engine._step_depth(rs, i)
             if result is None and rs.deadline is not None \
                     and time.monotonic() > rs.deadline:
                 rs.stats.limit_tripped = "wall"

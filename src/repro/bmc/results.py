@@ -15,6 +15,14 @@ PROOF = "proof"
 CEX = "cex"
 BOUNDED = "bounded"
 TIMEOUT = "timeout"
+#: A per-job resource quota (memory, clause+var watermark, or wall
+#: budget) tripped: the run aborted *cleanly at depth granularity* and
+#: reports the deepest fully-checked depth — "no counterexample up to
+#: ``depth``, budget exhausted".  ``depth == -1`` (or ``window lo - 1``)
+#: means the quota tripped before any depth completed.  Unlike TIMEOUT
+#: (a mid-check abort at the depth being *attempted*), a DEGRADED
+#: result's depth is a sound bound that window merging can fold in.
+DEGRADED = "degraded"
 
 
 @dataclass
@@ -75,6 +83,13 @@ class BmcRunStats:
     #: ``"conflicts"`` (``max_conflicts_per_check``); None when no limit
     #: tripped.
     limit_tripped: Optional[str] = None
+    #: Which per-job quota produced a DEGRADED outcome: ``"mem"``
+    #: (``BmcOptions.mem_quota_mb``, RSS poll), ``"clauses"``
+    #: (``clause_var_quota``, the encoding watermark inside
+    #: ``EncodingSession.extend_to``) or ``"wall"``
+    #: (``wall_quota_s``, the per-depth-window wall budget); None when
+    #: no quota tripped.
+    quota_tripped: Optional[str] = None
 
     def summary(self) -> str:
         return (f"{self.wall_time_s:.2f}s, {self.sat_vars} vars, "
@@ -143,5 +158,13 @@ class BmcResult:
                     f"({self.stats.summary()})")
         if self.status == TIMEOUT:
             return f"{self.property_name}: timeout at depth {self.depth}"
+        if self.status == DEGRADED:
+            checked = ("nothing checked" if self.depth < 0
+                       else f"no {'witness' if kind == 'reach' else 'counterexample'} "
+                            f"up to depth {self.depth}")
+            why = (f"{self.stats.quota_tripped} quota exhausted"
+                   if self.stats.quota_tripped else "window coverage incomplete")
+            return (f"{self.property_name}: degraded "
+                    f"({why}, {checked}; {self.stats.summary()})")
         return (f"{self.property_name}: no conclusion within bound "
                 f"{self.depth} ({self.stats.summary()})")

@@ -42,6 +42,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.bmc.engine import BmcOptions
 
 
+class QuotaExceededError(Exception):
+    """A per-job resource quota tripped during encoding.
+
+    Raised by :meth:`EncodingSession.extend_to` when the session's
+    clause+variable total crosses the caller's watermark.  The session
+    stays sound — frames already encoded are complete and never rolled
+    back — so the scheduler catches this and degrades the run at depth
+    granularity (:data:`repro.bmc.results.DEGRADED`) instead of dying.
+    """
+
+    def __init__(self, kind: str, detail: str = "") -> None:
+        super().__init__(detail or kind)
+        #: Which quota tripped: ``"mem"`` | ``"clauses"`` | ``"wall"``.
+        self.kind = kind
+
+
 class EncodingSession:
     """Owns the solver/AIG/unroller/EMM state of one design encoding.
 
@@ -144,14 +160,29 @@ class EncodingSession:
 
     # -- frame construction ------------------------------------------------
 
-    def extend_to(self, depth: int) -> None:
+    def extend_to(self, depth: int,
+                  clause_var_quota: Optional[int] = None) -> None:
         """Encode frames up to ``depth`` inclusive; idempotent.
 
         Already-encoded frames are never touched, so interleaved callers
         (several schedulers sharing the session) each pay only for the
         deepest frontier.
+
+        ``clause_var_quota`` is a per-call watermark on
+        :meth:`clause_var_total`: once the encoding crosses it, a
+        :class:`QuotaExceededError` is raised *between* frames — the
+        frame in flight is always finished first, so the session remains
+        a complete encoding of ``0..frames_built-1`` and every check at
+        those depths stays sound.  It is a run knob of the calling
+        scheduler, never part of the session's identity.
         """
         while self.frames_built <= depth:
+            if (clause_var_quota is not None
+                    and self.clause_var_total() > clause_var_quota):
+                raise QuotaExceededError(
+                    "clauses",
+                    f"encoding watermark {self.clause_var_total()} > "
+                    f"quota {clause_var_quota} before frame {self.frames_built}")
             k = self.frames_built
             self.unroller.add_frame()
             if k == 0:

@@ -139,13 +139,16 @@ def _verify_design(args) -> Design:
 
 
 def _verify_options(args) -> BmcOptions:
+    quotas = dict(mem_quota_mb=args.mem_quota_mb,
+                  clause_var_quota=args.clause_quota,
+                  wall_quota_s=args.wall_quota)
     if args.engine == "explicit":
         return BmcOptions(use_emm=False, find_proof=not args.no_proof,
                           max_depth=args.max_depth,
                           strash=not args.no_strash,
                           timeout_s=args.timeout,
                           solver_baseline=args.solver_baseline,
-                          profile=args.profile)
+                          profile=args.profile, **quotas)
     return BmcOptions(use_emm=True,
                       find_proof=(args.engine != "bmc2") and not args.no_proof,
                       max_depth=args.max_depth,
@@ -157,7 +160,7 @@ def _verify_options(args) -> BmcOptions:
                       emm_hybrid_strash=not args.no_hybrid_strash,
                       timeout_s=args.timeout,
                       solver_baseline=args.solver_baseline,
-                      profile=args.profile)
+                      profile=args.profile, **quotas)
 
 
 def _print_profile(profile: dict) -> None:
@@ -174,16 +177,20 @@ def cmd_verify(args) -> int:
     design = _verify_design(args)
     options = _verify_options(args)
     props = [args.property] if args.property else sorted(design.properties)
+    records = None
     if len(props) == 1:
         # Single property: the historical direct path (same engine, same
         # encoding; nothing to share).
         results = {props[0]: verify(design, props[0], options)}
     elif args.jobs > 1:
-        from repro.service import VerificationService
+        from repro.service import RetryPolicy, VerificationService
 
         factory = functools.partial(_verify_design, args)
-        with VerificationService(factory, options, jobs=args.jobs) as svc:
-            results = svc.run(props)
+        with VerificationService(
+                factory, options, jobs=args.jobs,
+                retry=RetryPolicy(max_retries=args.retries),
+                job_timeout_s=args.job_timeout) as svc:
+            results, records = svc.collect(props)
     else:
         # Sequential verify-all: one shared encoding session for every
         # property instead of a fresh engine per property.
@@ -193,7 +200,19 @@ def cmd_verify(args) -> int:
     for name in props:
         result = results[name]
         if args.json:
-            json_out.append(result.to_dict())
+            entry = result.to_dict()
+            if records is not None:
+                # Service mode: per-job lifecycle — attempts consumed,
+                # failure attribution, and (for degraded jobs) how deep
+                # the check got before its budget ran out.
+                entry["jobs"] = [
+                    {"window": list(sr.window) if sr.window else None,
+                     "status": sr.status,
+                     "attempts": sr.attempts,
+                     "failure": sr.failure,
+                     "depth": None if sr.result is None else sr.result.depth}
+                    for sr in records if sr.property_name == name]
+            json_out.append(entry)
         else:
             print(result.describe())
             if args.profile and result.stats.profile:
@@ -352,6 +371,26 @@ def main(argv=None) -> int:
                           help="worker processes for multi-property "
                                "verification (1 = in-process on one "
                                "shared encoding session)")
+    p_verify.add_argument("--retries", type=int, default=2,
+                          help="retry budget per job for crashed/hung/"
+                               "errored workers (--jobs > 1)")
+    p_verify.add_argument("--job-timeout", type=float, default=None,
+                          help="per-job hang deadline in seconds: a "
+                               "worker running longer is killed and the "
+                               "job retried (--jobs > 1)")
+    p_verify.add_argument("--mem-quota-mb", type=float, default=None,
+                          help="per-job RSS quota: over budget, the run "
+                               "degrades to the deepest fully-checked "
+                               "depth instead of dying")
+    p_verify.add_argument("--clause-quota", type=int, default=None,
+                          help="per-job encoding watermark (solver "
+                               "clauses + variables); degrades like "
+                               "--mem-quota-mb")
+    p_verify.add_argument("--wall-quota", type=float, default=None,
+                          help="per-job wall budget in seconds; unlike "
+                               "--timeout the result is a sound partial "
+                               "answer at depth granularity (degraded, "
+                               "not timeout)")
     p_verify.add_argument("--json", action="store_true",
                           help="machine-readable results (one JSON array)")
 

@@ -14,8 +14,27 @@ and is off by default: the engine flips it on under
 
 from __future__ import annotations
 
+import resource
 import time
 from contextlib import contextmanager
+
+
+def current_rss_mb() -> float:
+    """Current resident-set size of this process in MiB.
+
+    The per-job memory quota (``BmcOptions.mem_quota_mb``) needs the
+    *current* footprint, not the lifetime peak: a pooled service worker
+    runs many jobs, and ``ru_maxrss`` — once pushed over a quota by one
+    job — would degrade every later job in the same process.  Reads
+    ``/proc/self/statm`` where available (Linux); falls back to the
+    rusage peak elsewhere, which is conservative but monotone.
+    """
+    try:
+        with open("/proc/self/statm") as f:
+            resident_pages = int(f.read().split()[1])
+        return resident_pages * resource.getpagesize() / (1024.0 * 1024.0)
+    except (OSError, ValueError, IndexError):
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 class PhaseTimers:

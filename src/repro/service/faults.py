@@ -1,0 +1,183 @@
+"""Seeded fault-injection harness for the verification service.
+
+The recovery machinery of :mod:`repro.service.supervisor` is only
+trustworthy if it is *exercised*: this module injects worker failures —
+process crashes, hangs, slow-downs, raised exceptions and memory bloat —
+at named points in the worker execution path, deterministically, so the
+fault-tolerance test suite can prove the invariants the service claims:
+
+* every planned job reaches exactly one terminal result,
+* no orphaned worker processes remain after a run,
+* final verdicts under injected faults are bit-identical to the
+  fault-free run (faults restricted to retried attempts).
+
+A :class:`FaultPlan` is picklable and crosses the process boundary with
+the job, so the worker itself decides (deterministically, from the
+job's identity and attempt number) whether to misbehave.  Two modes:
+
+* **scripted** — explicit :class:`Injection` entries matched on
+  (point, property, window, attempt); the recovery tests use these to
+  stage one precise failure and watch the supervisor heal it;
+* **seeded random** — ``FaultPlan(seed=…, rate=…)`` draws per-job from
+  an RNG keyed on (seed, point, property, window), firing only on the
+  *first* attempt so every job still converges to its fault-free
+  verdict after one retry.  This is the CI smoke matrix.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Named points in the worker execution path where faults can fire.
+POINT_ENTER = "worker.enter"      #: on entry, before the design is built
+POINT_SESSION = "worker.session"  #: session obtained, before the run
+POINT_EXIT = "worker.exit"        #: run finished, before returning
+INJECTION_POINTS = (POINT_ENTER, POINT_SESSION, POINT_EXIT)
+
+#: Fault kinds.
+CRASH = "crash"        #: kill the worker process abruptly (``os._exit``)
+HANG = "hang"          #: block until the supervisor's job deadline kills us
+SLOW = "slow"          #: sleep, then continue normally
+RAISE = "raise"        #: raise :class:`FaultInjected`
+MEMBLOAT = "membloat"  #: allocate ballast held for the rest of the job
+FAULT_KINDS = (CRASH, HANG, SLOW, RAISE, MEMBLOAT)
+
+#: Matches any window in an :class:`Injection` (``None`` is a real
+#: window value — the full-range job — so it cannot be the wildcard).
+ANY_WINDOW = "*"
+
+
+class FaultInjected(RuntimeError):
+    """The exception a ``raise`` fault (or an inline ``crash``) throws."""
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One scripted fault: where, what, and for which job attempts."""
+
+    kind: str
+    point: str = POINT_ENTER
+    #: Property name to match; None matches every property.
+    prop: Optional[str] = None
+    #: Depth window to match; :data:`ANY_WINDOW` matches every window
+    #: (including the full-range ``None`` window).
+    window: object = ANY_WINDOW
+    #: Attempt numbers (1-based) this injection fires on.  The default
+    #: — first attempt only — keeps runs convergent: the retry is clean.
+    attempts: tuple = (1,)
+    #: Kind parameter: seconds for ``slow``/``hang``, MiB for
+    #: ``membloat``; 0 selects the plan's default.
+    param: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.point not in INJECTION_POINTS:
+            raise ValueError(f"unknown injection point {self.point!r}")
+
+    def matches(self, point: str, prop: str, window, attempt: int) -> bool:
+        return (self.point == point
+                and (self.prop is None or self.prop == prop)
+                and (self.window == ANY_WINDOW or self.window == window)
+                and attempt in self.attempts)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, picklable schedule of worker faults.
+
+    ``injections`` are scripted faults; ``seed``/``rate`` add the random
+    mode on top (either or both may be used).  The plan never holds
+    state — every decision is a pure function of (point, property,
+    window, attempt) — so it behaves identically no matter which worker
+    process evaluates it or how jobs are scheduled.
+    """
+
+    injections: tuple = ()
+    #: Random mode: master seed (None disables) and per-point fire rate.
+    seed: Optional[int] = None
+    rate: float = 0.0
+    #: Kinds the random mode draws from.  ``hang`` is excluded by
+    #: default: recovering from it needs a supervisor job deadline.
+    kinds: tuple = (CRASH, RAISE, SLOW)
+    #: Defaults for parameterised kinds.
+    hang_s: float = 3600.0
+    slow_s: float = 0.02
+    bloat_mb: float = 64.0
+    #: Exit code of ``crash`` faults (distinct from any Python exit).
+    crash_code: int = 139
+
+    def pick(self, point: str, prop: str, window,
+             attempt: int) -> Optional[Injection]:
+        """The injection (if any) that fires at this point of this job."""
+        for inj in self.injections:
+            if inj.matches(point, prop, window, attempt):
+                return inj
+        if self.seed is not None and self.rate > 0.0 and attempt == 1:
+            # Keyed on the job's identity, not on scheduling order, so
+            # the same plan fires the same faults under any pool size.
+            rng = random.Random(f"{self.seed}|{point}|{prop}|{window!r}")
+            if rng.random() < self.rate:
+                return Injection(kind=rng.choice(self.kinds), point=point)
+        return None
+
+    def fire(self, point: str, prop: str, window, attempt: int,
+             inline: bool = False):
+        """Execute the fault scheduled here, if any.
+
+        Returns ballast to keep alive for ``membloat`` (else None).
+        ``inline`` softens process-level faults when the "worker" is the
+        caller's own process (the service's jobs=1 path): ``crash`` and
+        ``hang`` become a raised :class:`FaultInjected`, which the
+        inline retry loop recovers from the same way.
+        """
+        inj = self.pick(point, prop, window, attempt)
+        if inj is None:
+            return None
+        kind = inj.kind
+        if inline and kind in (CRASH, HANG):
+            raise FaultInjected(f"{kind} fault (inline) at {point}")
+        if kind == CRASH:
+            os._exit(self.crash_code)
+        if kind == HANG:
+            time.sleep(inj.param or self.hang_s)
+            return None
+        if kind == SLOW:
+            time.sleep(inj.param or self.slow_s)
+            return None
+        if kind == RAISE:
+            raise FaultInjected(f"injected fault at {point} "
+                                f"(prop={prop}, window={window}, "
+                                f"attempt={attempt})")
+        if kind == MEMBLOAT:
+            return bytearray(int((inj.param or self.bloat_mb) * 1024 * 1024))
+        raise AssertionError(kind)  # pragma: no cover
+
+
+@dataclass
+class FaultProbe:
+    """Mutable observation helper for tests: counts ``pick`` decisions.
+
+    Wraps a plan to answer "how many faults would this plan fire over
+    this job set?" without running anything — used by the seeded smoke
+    matrix to assert the plan is actually injecting.
+    """
+
+    plan: FaultPlan
+    fired: list = field(default_factory=list)
+
+    def expected_faults(self, jobs, points=INJECTION_POINTS) -> list:
+        """(point, prop, window, kind) for every first-attempt fault."""
+        self.fired = []
+        for job in jobs:
+            for point in points:
+                inj = self.plan.pick(point, job.property_name, job.window, 1)
+                if inj is not None:
+                    self.fired.append((point, job.property_name,
+                                       job.window, inj.kind))
+                    break  # a crash/raise at one point masks later ones
+        return self.fired

@@ -1,0 +1,60 @@
+"""Per-job resource quotas for the verification service.
+
+The quota *mechanisms* live in the BMC layer, where they can act at the
+right granularity: :meth:`repro.bmc.session.EncodingSession.extend_to`
+enforces the clause+variable watermark between frames, and the engine's
+run loop polls the RSS and wall budgets between depths, degrading the
+run to a sound partial answer (:data:`repro.bmc.results.DEGRADED` —
+"no CEX up to depth d, budget exhausted") instead of dying.  This
+module is the service-side bundle: one picklable value the service and
+CLI thread through every job's options, so an over-budget shard
+degrades the merged answer's *depth* rather than killing the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.bmc.engine import BmcOptions
+from repro.perf import current_rss_mb
+
+__all__ = ["JobQuotas", "current_rss_mb"]
+
+
+@dataclass(frozen=True)
+class JobQuotas:
+    """The per-job resource budget a service request runs under.
+
+    All fields are run knobs — they never change what is encoded, only
+    how far a job is allowed to take it — so applying them to a job's
+    options does not change the session-cache key
+    (:meth:`repro.bmc.engine.BmcOptions.encoding_key`).
+    """
+
+    #: Current-RSS ceiling per worker, polled between depths.
+    mem_quota_mb: Optional[float] = None
+    #: Watermark on the session's solver clauses+variables, enforced
+    #: between frames inside ``EncodingSession.extend_to``.
+    clause_var_quota: Optional[int] = None
+    #: Wall budget per job (one depth window), also capping each solve's
+    #: in-check deadline.
+    wall_quota_s: Optional[float] = None
+
+    def __bool__(self) -> bool:
+        return (self.mem_quota_mb is not None
+                or self.clause_var_quota is not None
+                or self.wall_quota_s is not None)
+
+    def apply(self, options: BmcOptions) -> BmcOptions:
+        """Options with these quotas set (set fields only; no-op when empty)."""
+        if not self:
+            return options
+        fields = {}
+        if self.mem_quota_mb is not None:
+            fields["mem_quota_mb"] = self.mem_quota_mb
+        if self.clause_var_quota is not None:
+            fields["clause_var_quota"] = self.clause_var_quota
+        if self.wall_quota_s is not None:
+            fields["wall_quota_s"] = self.wall_quota_s
+        return replace(options, **fields)

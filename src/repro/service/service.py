@@ -20,6 +20,17 @@ Three behaviours the per-call :func:`repro.bmc.verify` cannot give:
   (frames below a window are still encoded — only the *checks* are
   restricted, so each shard is independently sound).
 
+On top of that sits fault tolerance (see
+:mod:`repro.service.supervisor`): worker crashes, hangs and raised
+exceptions are attributed, retried under a
+:class:`~repro.service.supervisor.RetryPolicy` with capped exponential
+backoff, and surfaced as ``retry``/``failed`` lifecycle records in the
+stream — every planned job reaches exactly one terminal record, even
+when the pool has to be rebuilt mid-run.  Per-job resource budgets
+(:class:`repro.service.quota.JobQuotas`) degrade an over-budget job to
+a sound partial answer (:data:`repro.bmc.results.DEGRADED`) at depth
+granularity instead of killing it.
+
 Designs cross the process boundary as *factories* (a picklable
 zero-argument callable), not as pickled ``Design`` objects — deep
 expression DAGs and pickle recursion do not mix.  Workers key their
@@ -29,17 +40,28 @@ rebuilding the design per job still reuses the worker's live session.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 from typing import Callable, Iterator, Optional, Sequence
 
 from repro.bmc.engine import BmcEngine, BmcOptions
-from repro.bmc.results import BOUNDED, CEX, BmcResult
+from repro.bmc.results import BOUNDED, CEX, DEGRADED, BmcResult
 from repro.bmc.session import SessionCache
 from repro.design.netlist import Design
+from repro.service.faults import (FaultPlan, POINT_ENTER, POINT_EXIT,
+                                  POINT_SESSION)
+from repro.service.quota import JobQuotas
+from repro.service.supervisor import (ERROR, JobOutcome, JobRetry,
+                                      PoolSupervisor, RetryPolicy)
 
 #: Stream status of a job suppressed by first-CEX-wins (no result).
 CANCELLED = "cancelled"
+#: Stream status of a non-terminal lifecycle record: an attempt failed
+#: (``failure`` says how — crash/hang/error) and the job was re-queued.
+RETRY = "retry"
+#: Stream status of a job whose failures exhausted the retry budget:
+#: terminal, ``result`` is None, ``failure`` carries the attribution.
+FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -52,17 +74,43 @@ class ServiceJob:
     #: ``0..max_depth``.
     window: Optional[tuple[int, int]] = None
 
+    def key(self) -> tuple:
+        """Stable identity (used for retry jitter and cancellation)."""
+        return (self.property_name, self.window)
+
 
 @dataclass
 class ServiceResult:
-    """One streamed entry: a job's outcome, in completion order."""
+    """One streamed entry: a job outcome or lifecycle record, in
+    completion order."""
 
     property_name: str
     window: Optional[tuple[int, int]]
-    #: The job's :class:`BmcResult` status, or :data:`CANCELLED` when a
-    #: sibling's counterexample made this job moot.
+    #: The job's :class:`BmcResult` status, or a service-level status:
+    #: :data:`CANCELLED` (sibling's counterexample made the job moot),
+    #: :data:`RETRY` (attempt failed, job re-queued — non-terminal) or
+    #: :data:`FAILED` (retry budget exhausted — terminal, no result).
     status: str
     result: Optional[BmcResult]
+    #: Attempts consumed so far (1 for a first-try success).
+    attempts: int = 1
+    #: Failure attribution of a RETRY/FAILED record: ``"crash"``,
+    #: ``"hang"`` or ``"error"``; None for ordinary results.
+    failure: Optional[str] = None
+    #: Human-readable failure context (exception text, deadline note).
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-ready form — the CLI's ``--json`` per-job schema."""
+        return {
+            "property": self.property_name,
+            "window": list(self.window) if self.window else None,
+            "status": self.status,
+            "attempts": self.attempts,
+            "failure": self.failure,
+            "detail": self.detail,
+            "result": None if self.result is None else self.result.to_dict(),
+        }
 
 
 def shard_depths(max_depth: int, shards: int) -> list[tuple[int, int]]:
@@ -87,20 +135,76 @@ def shard_depths(max_depth: int, shards: int) -> list[tuple[int, int]]:
     return windows
 
 
-def merge_window_results(results: Sequence[BmcResult]) -> BmcResult:
+def merge_window_results(results: Sequence[Optional[BmcResult]],
+                         windows: Optional[Sequence[tuple[int, int]]] = None,
+                         ) -> BmcResult:
     """Fold per-window results (ascending windows) into one verdict.
 
-    Mirrors the sequential depth scan: the first window that concluded
+    Without ``windows`` every result must be present and the fold
+    mirrors the sequential depth scan: the first window that concluded
     (CEX, PROOF or TIMEOUT) is the answer — sequentially, later depths
     would never have run; if every window stayed BOUNDED, the deepest
     one is.
+
+    With ``windows`` (aligned with ``results``; entries may be None for
+    windows whose job failed or was cancelled) the fold is *gap-aware*:
+
+    * a counterexample is sound wherever it was found — it wins even
+      across gaps;
+    * PROOF and TIMEOUT only conclude on a contiguous fully-checked
+      prefix (a backward-induction proof at depth k is unsound if some
+      depth below k was never checked);
+    * a missing window, a DEGRADED window (checked only up to its
+      reported depth) or a non-contiguous window opens a **gap**: the
+      sound frontier stops there, and the merged verdict is DEGRADED
+      at the deepest fully-checked depth — a partial answer instead of
+      a silent unsound merge.
     """
-    if not results:
+    if windows is None:
+        present = [r for r in results if r is not None]
+        if len(present) != len(results):
+            raise ValueError("missing window results; pass windows= to "
+                             "merge around gaps")
+        if not present:
+            raise ValueError("no results to merge")
+        for r in present:
+            if r.status != BOUNDED:
+                return r
+        return present[-1]
+
+    if len(windows) != len(results):
+        raise ValueError("results must align with windows")
+    present = [r for r in results if r is not None]
+    if not present:
         raise ValueError("no results to merge")
-    for r in results:
-        if r.status != BOUNDED:
+    frontier = windows[0][0] - 1
+    gap = False
+    last_sound: Optional[BmcResult] = None
+    for (lo, hi), r in zip(windows, results):
+        if r is not None and r.status == CEX:
             return r
-    return results[-1]
+        if gap or r is None or lo != frontier + 1:
+            gap = True
+            continue
+        if r.status == BOUNDED:
+            frontier = hi
+            last_sound = r
+            continue
+        if r.status == DEGRADED:
+            # Checked cleanly up to r.depth, then its budget ran out:
+            # everything above r.depth in this window is a gap.
+            frontier = max(frontier, r.depth)
+            last_sound = r
+            gap = True
+            continue
+        # PROOF or TIMEOUT on the contiguous prefix: the sequential
+        # scan's answer.
+        return r
+    if not gap:
+        return last_sound if last_sound is not None else present[-1]
+    base = last_sound if last_sound is not None else present[-1]
+    return replace(base, status=DEGRADED, depth=frontier, method=None,
+                   trace=None, trace_validated=None)
 
 
 # -- worker side (must be module-level for pickling) -----------------------
@@ -109,23 +213,41 @@ _worker_cache: Optional[SessionCache] = None
 
 
 def _worker_run(design_factory: Callable[[], Design], property_name: str,
-                options: BmcOptions,
-                window: Optional[tuple[int, int]]) -> BmcResult:
+                options: BmcOptions, window: Optional[tuple[int, int]],
+                attempt: int = 1,
+                fault_plan: Optional[FaultPlan] = None) -> BmcResult:
     """Run one job in a worker process, reusing its process-local cache.
 
     The cache is keyed on content (fingerprint), so the design rebuilt
     by the factory on every call still maps onto the worker's live
     session — each worker pays for the encoding once per
     (design, options), no matter how many jobs it drains.
+
+    ``fault_plan`` (tests/CI only) may crash, hang, slow, bloat or blow
+    up this worker at the named injection points; ``attempt`` lets the
+    plan target specific retries.
     """
+    ballast = []
+    if fault_plan is not None:
+        b = fault_plan.fire(POINT_ENTER, property_name, window, attempt)
+        if b is not None:
+            ballast.append(b)
     global _worker_cache
     if _worker_cache is None:
         _worker_cache = SessionCache()
     design = design_factory()
     session = _worker_cache.get_or_create(design, options)
+    if fault_plan is not None:
+        b = fault_plan.fire(POINT_SESSION, property_name, window, attempt)
+        if b is not None:
+            ballast.append(b)
     engine = BmcEngine(session.design, property_name, options,
                        session=session)
-    return engine.run(window=window)
+    result = engine.run(window=window)
+    if fault_plan is not None:
+        fault_plan.fire(POINT_EXIT, property_name, window, attempt)
+    ballast.clear()
+    return result
 
 
 class VerificationService:
@@ -140,16 +262,33 @@ class VerificationService:
     Repeated ``run()``/``stream()`` calls reuse live sessions: inline
     through :attr:`cache`, pooled through each worker's process-local
     cache (workers persist for the service's lifetime).
+
+    Fault tolerance: pooled jobs run under a
+    :class:`~repro.service.supervisor.PoolSupervisor` — worker crashes
+    and raised exceptions are retried per ``retry`` (default: 2 retries
+    with capped exponential backoff), and with a ``job_timeout_s`` hung
+    jobs are killed and retried too.  The inline path retries raised
+    exceptions under the same policy.  ``quotas`` applies per-job
+    resource budgets (jobs degrade, not die); ``fault_plan`` injects
+    worker faults for the recovery test suite.
     """
 
     def __init__(self, design_factory: Callable[[], Design],
                  options: Optional[BmcOptions] = None, jobs: int = 1,
-                 session_cache: Optional[SessionCache] = None) -> None:
+                 session_cache: Optional[SessionCache] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 job_timeout_s: Optional[float] = None,
+                 quotas: Optional[JobQuotas] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.design_factory = design_factory
         self.options = options or BmcOptions()
         self.jobs = max(1, jobs)
         self.cache = session_cache if session_cache is not None else SessionCache()
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.job_timeout_s = job_timeout_s
+        self.quotas = quotas
+        self.fault_plan = fault_plan
+        self._sup: Optional[PoolSupervisor] = None
         self._design: Optional[Design] = None
 
     def __enter__(self) -> "VerificationService":
@@ -159,9 +298,14 @@ class VerificationService:
         self.close()
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut the worker pool down; queued work is cancelled, running
+        work terminated, every child process reaped."""
+        if self._sup is not None:
+            if self._sup.pending():
+                self._sup.terminate()
+            else:
+                self._sup.close(cancel_futures=True)
+            self._sup = None
 
     def _get_design(self) -> Design:
         if self._design is None:
@@ -178,9 +322,13 @@ class VerificationService:
 
         Windows must be ascending and contiguous when given (see
         :func:`shard_depths`); properties default to all of the design's,
-        sorted.
+        sorted.  The service's :attr:`quotas` are folded into every
+        job's options here (run knobs only — the session-cache key is
+        unchanged).
         """
         opts = options or self.options
+        if self.quotas:
+            opts = self.quotas.apply(opts)
         if properties is None:
             properties = sorted(self._get_design().properties)
         windows: Sequence[Optional[tuple[int, int]]] = (
@@ -194,12 +342,45 @@ class VerificationService:
                options: Optional[BmcOptions] = None,
                depth_windows: Optional[Sequence[tuple[int, int]]] = None,
                ) -> Iterator[ServiceResult]:
-        """Yield job outcomes as they complete (first-CEX-wins applied)."""
+        """Yield job outcomes and lifecycle records as they happen.
+
+        First-CEX-wins is applied; every planned job contributes exactly
+        one terminal record (a result, FAILED, or CANCELLED), possibly
+        preceded by RETRY records.  Abandoning the iterator mid-stream
+        is safe: the generator's cleanup cancels queued jobs and tears
+        the pool down (``cancel_futures=True``) so no workers leak.
+        """
         jobs = self.plan(properties, options, depth_windows)
         if self.jobs == 1:
             yield from self._stream_inline(jobs)
         else:
             yield from self._stream_pool(jobs)
+
+    # -- inline path -------------------------------------------------------
+
+    def _run_one_inline(self, job: ServiceJob, attempt: int) -> BmcResult:
+        plan = self.fault_plan
+        ballast = []
+        if plan is not None:
+            b = plan.fire(POINT_ENTER, job.property_name, job.window,
+                          attempt, inline=True)
+            if b is not None:
+                ballast.append(b)
+        design = self._get_design()
+        session = self.cache.get_or_create(design, job.options)
+        if plan is not None:
+            b = plan.fire(POINT_SESSION, job.property_name, job.window,
+                          attempt, inline=True)
+            if b is not None:
+                ballast.append(b)
+        engine = BmcEngine(session.design, job.property_name,
+                           job.options, session=session)
+        result = engine.run(window=job.window)
+        if plan is not None:
+            plan.fire(POINT_EXIT, job.property_name, job.window,
+                      attempt, inline=True)
+        ballast.clear()
+        return result
 
     def _stream_inline(self, jobs: list[ServiceJob]) -> Iterator[ServiceResult]:
         decided: set[str] = set()
@@ -208,45 +389,96 @@ class VerificationService:
                 yield ServiceResult(job.property_name, job.window,
                                     CANCELLED, None)
                 continue
-            design = self._get_design()
-            session = self.cache.get_or_create(design, job.options)
-            engine = BmcEngine(session.design, job.property_name,
-                               job.options, session=session)
-            result = engine.run(window=job.window)
-            yield ServiceResult(job.property_name, job.window,
-                                result.status, result)
-            if result.status == CEX:
-                decided.add(job.property_name)
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    result = self._run_one_inline(job, attempt)
+                except Exception as exc:  # same policy as pooled workers
+                    detail = f"{type(exc).__name__}: {exc}"
+                    if attempt > self.retry.max_retries:
+                        yield ServiceResult(job.property_name, job.window,
+                                            FAILED, None, attempts=attempt,
+                                            failure=ERROR, detail=detail)
+                        break
+                    delay = self.retry.delay_s(attempt, job.key())
+                    yield ServiceResult(job.property_name, job.window,
+                                        RETRY, None, attempts=attempt,
+                                        failure=ERROR, detail=detail)
+                    time.sleep(delay)
+                    continue
+                yield ServiceResult(job.property_name, job.window,
+                                    result.status, result, attempts=attempt)
+                if result.status == CEX:
+                    decided.add(job.property_name)
+                break
+
+    # -- pooled path -------------------------------------------------------
+
+    def _get_supervisor(self) -> PoolSupervisor:
+        if self._sup is None:
+            factory = self.design_factory
+            plan = self.fault_plan
+
+            def submit(pool, job, attempt):
+                return pool.submit(_worker_run, factory, job.property_name,
+                                   job.options, job.window, attempt, plan)
+
+            self._sup = PoolSupervisor(submit, self.jobs, retry=self.retry,
+                                       job_timeout_s=self.job_timeout_s,
+                                       key_fn=ServiceJob.key)
+        return self._sup
 
     def _stream_pool(self, jobs: list[ServiceJob]) -> Iterator[ServiceResult]:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        futures = {
-            self._pool.submit(_worker_run, self.design_factory,
-                              job.property_name, job.options, job.window): job
-            for job in jobs
-        }
+        sup = self._get_supervisor()
         decided: set[str] = set()
-        for fut in as_completed(futures):
-            job = futures[fut]
-            if fut.cancelled():
-                continue  # its cancellation record was streamed below
-            result = fut.result()
-            if job.property_name in decided:
-                # Sibling finished after the property was decided: its
-                # result is suppressed so the first CEX stays the answer.
+        try:
+            for ev in sup.run(jobs):
+                if decided:
+                    # Sweep jobs of decided properties that re-entered
+                    # the queue (e.g. a retry enqueued after the CEX).
+                    for job in sup.cancel(
+                            lambda j: j.property_name in decided):
+                        yield ServiceResult(job.property_name, job.window,
+                                            CANCELLED, None)
+                if isinstance(ev, JobRetry):
+                    if ev.job.property_name in decided:
+                        continue
+                    yield ServiceResult(ev.job.property_name, ev.job.window,
+                                        RETRY, None, attempts=ev.attempt,
+                                        failure=ev.failure, detail=ev.detail)
+                    continue
+                assert isinstance(ev, JobOutcome)
+                job = ev.job
+                if job.property_name in decided:
+                    yield ServiceResult(job.property_name, job.window,
+                                        CANCELLED, None,
+                                        attempts=ev.attempts)
+                    continue
+                if ev.result is None:
+                    yield ServiceResult(job.property_name, job.window,
+                                        FAILED, None, attempts=ev.attempts,
+                                        failure=ev.failure)
+                    continue
+                result: BmcResult = ev.result
                 yield ServiceResult(job.property_name, job.window,
-                                    CANCELLED, None)
-                continue
-            yield ServiceResult(job.property_name, job.window,
-                                result.status, result)
-            if result.status == CEX:
-                decided.add(job.property_name)
-                for other, sibling in futures.items():
-                    if (sibling.property_name == job.property_name
-                            and other is not fut and other.cancel()):
-                        yield ServiceResult(sibling.property_name,
-                                            sibling.window, CANCELLED, None)
+                                    result.status, result,
+                                    attempts=ev.attempts)
+                if result.status == CEX:
+                    decided.add(job.property_name)
+                    for dropped in sup.cancel(
+                            lambda j, name=job.property_name:
+                            j.property_name == name):
+                        yield ServiceResult(dropped.property_name,
+                                            dropped.window, CANCELLED, None)
+        finally:
+            # Abandoned mid-stream: cancel queued work and tear the pool
+            # down so no child processes (or their running jobs) leak.
+            if self._sup is not None and self._sup.pending():
+                self._sup.terminate()
+                self._sup = None
+
+    # -- merged verdicts ---------------------------------------------------
 
     def run(self, properties: Optional[Sequence[str]] = None, *,
             options: Optional[BmcOptions] = None,
@@ -259,15 +491,51 @@ class VerificationService:
         :func:`repro.bmc.verify` runs.  With sharding, a counterexample
         may be reported from a deeper window than the shallowest one
         that holds it (first-CEX-wins races the windows); statuses still
-        agree.
+        agree.  Windows whose job FAILED (retries exhausted) become
+        gaps: the property's verdict is the deepest sound prefix
+        (DEGRADED) rather than an unsound merge across the hole; a
+        property with no surviving window at all yields a synthesized
+        DEGRADED verdict at depth ``lo - 1``.
         """
-        per_prop: dict[str, list[ServiceResult]] = {}
-        for sr in self.stream(properties, options=options,
-                              depth_windows=depth_windows):
-            if sr.result is not None:
-                per_prop.setdefault(sr.property_name, []).append(sr)
-        def lo(sr: ServiceResult) -> int:
-            return 0 if sr.window is None else sr.window[0]
-        return {name: merge_window_results(
-                    [sr.result for sr in sorted(entries, key=lo)])
-                for name, entries in per_prop.items()}
+        results, _records = self.collect(properties, options=options,
+                                         depth_windows=depth_windows)
+        return results
+
+    def collect(self, properties: Optional[Sequence[str]] = None, *,
+                options: Optional[BmcOptions] = None,
+                depth_windows: Optional[Sequence[tuple[int, int]]] = None,
+                ) -> tuple[dict[str, BmcResult], list[ServiceResult]]:
+        """Like :meth:`run`, but also return the full record stream
+        (lifecycle + terminal, in completion order) — the CLI's
+        ``--json`` uses it for per-job attempts and attributions."""
+        windows = [tuple(w) for w in depth_windows] if depth_windows else None
+        records = list(self.stream(properties, options=options,
+                                   depth_windows=depth_windows))
+        by_prop: dict[str, dict] = {}
+        for sr in records:
+            if sr.status == RETRY or sr.status == CANCELLED:
+                continue
+            slot = by_prop.setdefault(sr.property_name, {})
+            slot[sr.window] = sr.result  # None for FAILED
+        out: dict[str, BmcResult] = {}
+        for name, slot in by_prop.items():
+            if windows is None:
+                results = [r for r in slot.values() if r is not None]
+                if results:
+                    out[name] = merge_window_results(results)
+                else:
+                    out[name] = self._degraded_stub(name, -1)
+                continue
+            aligned = [slot.get(w) for w in windows]
+            if any(r is not None for r in aligned):
+                out[name] = merge_window_results(aligned, windows)
+            else:
+                out[name] = self._degraded_stub(name, windows[0][0] - 1)
+        return out, records
+
+    def _degraded_stub(self, name: str, depth: int) -> BmcResult:
+        """Verdict for a property none of whose jobs survived: nothing
+        was checked, reported honestly as DEGRADED at ``depth``."""
+        kind = self._get_design().properties[name].kind
+        return BmcResult(status=DEGRADED, property_name=name,
+                         property_kind=kind, depth=depth)

@@ -39,7 +39,7 @@ from typing import Callable, Optional
 
 from repro.bmc import BmcOptions
 from repro.design import Design, expand_memories
-from repro.service import VerificationService
+from repro.service import RetryPolicy, VerificationService
 from repro.sim.oracle import (ExplicitOracle, Oracle, SimulatorOracle,
                               Stimulus, default_oracle)
 from repro.sim.trace import Trace
@@ -177,6 +177,11 @@ class FarmConfig:
     bmc_depth: int = 4
     #: Worker processes for the service runs (1 = inline).
     jobs: int = 1
+    #: Retry budget per service job: a crashed/hung/errored worker is
+    #: retried instead of killing the farm round (nightly robustness).
+    retries: int = 2
+    #: Per-job hang deadline for pooled service runs (None: no watchdog).
+    job_timeout_s: Optional[float] = None
     #: Minimize reproducer stimuli before reporting.
     shrink: bool = True
     #: Directory for divergence reproducer JSON files.
@@ -426,15 +431,18 @@ def _run_bmc_matrix(config: FarmConfig, seed: int, design: Design,
         sim_first[prop] = min(within) if within else None
 
     base = dict(find_proof=False, max_depth=depth)
+    retry = RetryPolicy(max_retries=config.retries)
     with VerificationService(partial(_build_explicit, seed),
                              BmcOptions(use_emm=False, **base),
-                             jobs=config.jobs) as svc:
+                             jobs=config.jobs, retry=retry,
+                             job_timeout_s=config.job_timeout_s) as svc:
         oracle_results = svc.run()
     for encoding in config.encodings:
         for combo in config.option_combos:
             opts = BmcOptions(emm_encoding=encoding, **combo, **base)
             with VerificationService(partial(build_fuzz_netlist, seed),
-                                     opts, jobs=config.jobs) as svc:
+                                     opts, jobs=config.jobs, retry=retry,
+                                     job_timeout_s=config.job_timeout_s) as svc:
                 results = svc.run()
             for prop, r in sorted(results.items()):
                 report.bmc_trials += 1
@@ -554,6 +562,10 @@ def main(argv: Optional[list] = None) -> int:
                     help="simulation-only differential (no SAT runs)")
     ap.add_argument("--jobs", type=int, default=1,
                     help="service worker processes for the BMC matrix")
+    ap.add_argument("--retries", type=int, default=2,
+                    help="per-job retry budget for crashed/hung workers")
+    ap.add_argument("--job-timeout", type=float, default=None,
+                    help="per-job hang deadline in seconds (pooled runs)")
     ap.add_argument("--scalar-lanes", type=int, default=4)
     ap.add_argument("--profile", action="store_true",
                     help="report each round's wall time split between "
@@ -574,6 +586,7 @@ def main(argv: Optional[list] = None) -> int:
                         rounds=args.rounds, min_trials=args.min_trials,
                         budget_s=args.seconds, run_bmc=not args.no_bmc,
                         bmc_depth=args.bmc_depth, jobs=args.jobs,
+                        retries=args.retries, job_timeout_s=args.job_timeout,
                         scalar_lanes=args.scalar_lanes, out_dir=args.out,
                         profile=args.profile)
     report = run_farm(config)

@@ -153,7 +153,9 @@ def test_encoding_key_ignores_run_knobs_only():
     base = BmcOptions()
     same = [BmcOptions(max_depth=7), BmcOptions(timeout_s=1.5),
             BmcOptions(max_conflicts_per_check=10),
-            BmcOptions(validate_cex=False), BmcOptions(profile=True)]
+            BmcOptions(validate_cex=False), BmcOptions(profile=True),
+            BmcOptions(mem_quota_mb=64.0), BmcOptions(clause_var_quota=1000),
+            BmcOptions(wall_quota_s=2.0)]
     for opt in same:
         assert opt.encoding_key() == base.encoding_key(), opt
     diff = [BmcOptions(find_proof=False), BmcOptions(pba=True),
