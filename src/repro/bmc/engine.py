@@ -26,7 +26,6 @@ unsat core of each falsification check and accumulates latch reasons.
 
 from __future__ import annotations
 
-import resource
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -36,7 +35,8 @@ from repro.bmc.results import (BOUNDED, CEX, DEGRADED, PROOF, TIMEOUT,
                                BmcResult, BmcRunStats)
 from repro.bmc.session import EncodingSession, QuotaExceededError
 from repro.design.netlist import Design
-from repro.perf import PhaseTimers, current_rss_mb, solver_phase_times
+from repro.perf import (PhaseTimers, current_rss_mb, peak_rss_mb,
+                        solver_phase_times)
 
 
 @dataclass(frozen=True)
@@ -87,6 +87,15 @@ class BmcOptions:
     #: ``emm_encoding="gates"`` (always AIG) or ``exclusivity=False``
     #: (no chain to route).
     emm_hybrid_strash: bool = True
+    #: Share the comparator cache *across* memories through a
+    #: session-scoped registry (:class:`repro.emm.addrcmp.
+    #: SharedComparatorTables`): two memories whose address cones lower
+    #: to the same SAT-literal tuples — the miter/equivalence case —
+    #: share one comparator, with the clauses multi-labelled so PBA
+    #: cores attribute them to every memory served.  Requires
+    #: ``emm_addr_dedup`` (no per-memory cache, nothing to widen); off
+    #: restores the historical per-memory scope.
+    emm_cross_mem_share: bool = True
     #: Latch-based abstraction: latches to keep (None = all).
     kept_latches: Optional[frozenset[str]] = None
     #: Memory abstraction: memories to keep EMM constraints for (None = all).
@@ -161,7 +170,8 @@ class BmcOptions:
         return (self.find_proof, self.pba, self.use_emm, self.exclusivity,
                 self.emm_encoding, self.init_consistency,
                 self.emm_addr_dedup, self.strash, self.emm_chain_share,
-                self.emm_hybrid_strash, self.kept_latches,
+                self.emm_hybrid_strash, self.emm_cross_mem_share,
+                self.kept_latches,
                 self.kept_memories, ports_key, groups_key,
                 self.solver_baseline)
 
@@ -261,6 +271,10 @@ class BmcEngine:
         # shared, the reasons are this property's).
         self._lr: list[frozenset[str]] = []
         self._mr: list[frozenset[str]] = []
+        # Unlabelled clauses seen in this run's PBA cores: when nonzero
+        # the reason lists are not exhaustive and the minimizer refuses
+        # to treat them as such (satellite of the multi-label work).
+        self._core_unlabeled = 0
 
     # -- session views (the extraction/PBA layers address the engine) ------
 
@@ -460,6 +474,7 @@ class BmcEngine:
 
     def _collect_reasons(self, i: int) -> None:
         labels = self.solver.core_labels()
+        self._core_unlabeled += self.solver.core_unlabeled_count()
         latches = frozenset(lab[1] for lab in labels
                             if isinstance(lab, tuple) and lab[0] in ("init", "link"))
         mems = frozenset(lab[1] for lab in labels
@@ -496,6 +511,9 @@ class BmcEngine:
                                            for e in emms)
         stats.emm_addr_eq_folded = sum(e.counters.addr_eq_folded
                                        for e in emms)
+        stats.cross_mem_cmp_hits = sum(e.counters.cross_mem_cmp_hits
+                                       for e in emms)
+        stats.core_unlabeled = self._core_unlabeled
         stats.emm_chain_suffix_hits = sum(e.counters.chain_suffix_hits
                                           for e in emms)
         stats.emm_init_pairs_pruned = sum(e.counters.init_pairs_pruned
@@ -508,7 +526,7 @@ class BmcEngine:
         stats.strash_folds = session.aig.strash_folds
         stats.aig_nodes = session.aig.num_ands
         stats.ite_lowered = session.emitter.ites_emitted
-        stats.peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        stats.peak_rss_mb = peak_rss_mb()
         if rs.timers is not None:
             # Solver-internal times are session-wide cumulative, like the
             # other solver counters; the scheduler phases are this run's.

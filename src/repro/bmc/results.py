@@ -42,6 +42,14 @@ class BmcRunStats:
     #: :mod:`repro.emm.addrcmp`).
     emm_addr_eq_cache_hits: int = 0
     emm_addr_eq_folded: int = 0
+    #: Comparator hits answered by a cache entry another memory encoded
+    #: (session-scoped registry, ``BmcOptions.emm_cross_mem_share``);
+    #: a subset of the cache-hit counters above.
+    cross_mem_cmp_hits: int = 0
+    #: Unlabelled clauses seen across this run's PBA unsat cores; when
+    #: nonzero the latch/memory reason lists are not exhaustive and the
+    #: PBA minimizer refuses to shrink on them.
+    core_unlabeled: int = 0
     #: Cross-frame chain-suffix sharing (``BmcOptions.emm_chain_share``):
     #: gate-EMM mux-chain stages answered entirely by the strash layer,
     #: equation-(6) pairs pruned on a folded-FALSE comparator, and

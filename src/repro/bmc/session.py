@@ -35,6 +35,7 @@ from repro.aig.tseitin import CnfEmitter
 from repro.bmc.induction import LoopFreeConstraints
 from repro.bmc.unroller import Unroller
 from repro.design.netlist import Design
+from repro.emm.addrcmp import SharedComparatorTables
 from repro.emm.forwarding import EmmMemory
 from repro.sat.solver import Solver
 
@@ -107,6 +108,14 @@ class EncodingSession:
         self.kept_memories = kept_mems
         port_map = options.kept_read_ports or {}
         registries = self._shared_init_registries(kept_mems)
+        #: Session-scoped cross-memory comparator registry: one table per
+        #: booking class, shared by every memory's comparators so
+        #: structurally identical address comparisons encode once across
+        #: memories (hits multi-label the clauses — see
+        #: :mod:`repro.emm.addrcmp`).  Needs the per-memory cache on.
+        self.cmp_registry = (SharedComparatorTables()
+                             if options.emm_cross_mem_share
+                             and options.emm_addr_dedup else None)
         if options.emm_encoding == "hybrid":
             emm_class = EmmMemory
         elif options.emm_encoding == "gates":
@@ -126,7 +135,8 @@ class EncodingSession:
                             init_registry=registries.get(name),
                             addr_dedup=options.emm_addr_dedup,
                             chain_share=options.emm_chain_share,
-                            hybrid_strash=options.emm_hybrid_strash)
+                            hybrid_strash=options.emm_hybrid_strash,
+                            cmp_registry=self.cmp_registry)
             for name in sorted(kept_mems)
         }
         self.lfp = (LoopFreeConstraints(self.unroller, self.a_lfp)

@@ -158,6 +158,7 @@ def _verify_options(args) -> BmcOptions:
                       strash=not args.no_strash,
                       emm_chain_share=not args.no_chain_share,
                       emm_hybrid_strash=not args.no_hybrid_strash,
+                      emm_cross_mem_share=not args.no_cross_mem_share,
                       timeout_s=args.timeout,
                       solver_baseline=args.solver_baseline,
                       profile=args.profile, **quotas)
@@ -347,6 +348,11 @@ def main(argv=None) -> int:
                           help="disable cross-frame chain-suffix sharing "
                                "and incremental equation-(6) pruning "
                                "(latest-first / all-pairs baseline)")
+    p_verify.add_argument("--no-cross-mem-share", action="store_true",
+                          help="scope the address-comparator cache per "
+                               "memory instead of sharing it across "
+                               "memories through the session registry "
+                               "(multi-label PBA provenance)")
     p_verify.add_argument("--no-hybrid-strash", action="store_true",
                           help="re-emit the hybrid EMM encoding as raw "
                                "CNF per frame instead of routing its "

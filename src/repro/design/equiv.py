@@ -141,6 +141,12 @@ def check_equivalence(a: Design, b: Design,
     run); BOUNDED means no difference up to ``max_depth``; PROOF (only
     with ``find_proof=True``) means the outputs are equal in all
     reachable states.
+
+    Miters are the headline workload for cross-memory comparator
+    sharing (``BmcOptions.emm_cross_mem_share``, flowing through
+    ``options``): the ``a::``/``b::`` memory copies see structurally
+    identical address cones, so the session registry answers the second
+    copy's comparators from the first copy's cache entries (bench C10).
     """
     from repro.bmc.engine import BmcEngine, BmcOptions
 

@@ -26,15 +26,18 @@ above — the exact encoding the closed forms below count.
 :mod:`repro.emm.accounting` carries the paper's closed-form constraint
 counts; tests assert the implementation matches them clause for clause.
 :mod:`repro.emm.addrcmp` deduplicates the address comparators behind
-those counts (per-memory cache + constant folding) — the closed forms
-are upper bounds once dedup is on, and ``EmmCounters`` reports how much
-was saved (``addr_eq_cache_hits`` / ``addr_eq_folded``).
+those counts (per-memory or session-shared cache + constant folding,
+multi-label PBA provenance) — the closed forms are upper bounds once
+dedup is on, and ``EmmCounters`` reports how much was saved
+(``addr_eq_cache_hits`` / ``addr_eq_folded`` /
+``cross_mem_cmp_hits``).
 """
 
-from repro.emm.addrcmp import AddrComparator
+from repro.emm.addrcmp import AddrComparator, SharedComparatorTables
 from repro.emm.forwarding import EmmMemory, EmmCounters, InitReadRegistry
 from repro.emm.races import RaceResult, find_data_race
 from repro.emm import accounting
 
-__all__ = ["AddrComparator", "EmmMemory", "EmmCounters", "InitReadRegistry",
-           "RaceResult", "find_data_race", "accounting"]
+__all__ = ["AddrComparator", "SharedComparatorTables", "EmmMemory",
+           "EmmCounters", "InitReadRegistry", "RaceResult", "find_data_race",
+           "accounting"]

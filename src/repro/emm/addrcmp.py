@@ -24,21 +24,31 @@ deduplicates that structure:
   that are the *same* literal are skipped and bit pairs that are
   complementary literals fold the whole comparator to FALSE.
 
-PBA provenance: the cache is scoped **per memory**, never shared across
-memories.  A cached comparator created under one label kind (say
-``("emm", mem, "addr_eq")``) may later serve a hit requested under
-another (``("emm", mem, "init_consistency")``); that is sound for
-proof-based abstraction because the engine's reason extraction only
-reads the memory name out of ``("emm", name, *)`` labels, and every
-label of one cache carries the same name.  A cross-memory cache would
-let a core attribute one memory's constraints to another, silently
-shrinking the abstraction — hence one :class:`AddrComparator` per
-:class:`EmmMemory`.  The race monitor additionally gets its *own*
-instance (not the forwarding chain's): its clauses are booked into
+PBA provenance: every cache entry remembers the clause ids it emitted
+and the labels it has served.  A hit requested under a label the entry
+has not seen yet *joins* that label onto the entry's clauses
+(:meth:`repro.sat.solver.Solver.add_label`), so an unsat core that uses
+a shared comparator attributes it to **every** consumer it served —
+``Solver.core_labels`` flattens the resulting multi-labels back into
+individual ``("emm", name, *)`` tuples.  That label joining is what
+makes a **cross-memory** cache sound: with
+``BmcOptions.emm_cross_mem_share`` (default on) the
+:class:`EncodingSession` owns one :class:`SharedComparatorTables`
+registry and every memory's comparator resolves against it, so two
+memories whose address cones lower to the same SAT-literal tuples — the
+miter/equivalence case, where both copies see identical cones — share
+one ``4m+1``-clause block and the core names *both* memories.  (The
+historical per-memory scoping survives as the ``registry=None``
+default and the ``--no-cross-mem-share`` baseline.)
+
+The registry is still split by **consumer booking class** (keyed on the
+comparator's ``hit_counter`` name): the race monitor books into
 dedicated ``race_*`` counters excluded from the paper-formula totals,
-and a shared cache would let whichever consumer encodes a pair first
-steal the booking from the other, making ``addr_eq_clauses`` depend on
-``check_races``.
+and sharing one table across differently-booked consumers would let
+whichever encodes a pair first steal the clause booking from the other,
+making ``addr_eq_clauses`` depend on ``check_races``.  Forwarding-chain
+and eq-(6) comparators of *all* memories share one class (same
+booking), race comparators another.
 
 Folded comparators return the emitter's always-true variable (possibly
 negated); cores that use a folded result pick up the ``("const",)``
@@ -54,8 +64,52 @@ from repro.aig.tseitin import CnfEmitter
 from repro.sat.solver import Solver
 
 
+class _CacheEntry:
+    """One cached comparator: its E literal, clause ids, served labels.
+
+    ``cids`` lets a later hit join the new caller's label onto every
+    clause of the entry; ``labels`` avoids redundant joins; ``owner``
+    identifies the comparator instance (memory) that first encoded it,
+    so cross-memory reuse can be counted.
+    """
+
+    __slots__ = ("lit", "cids", "labels", "owner")
+
+    def __init__(self, lit: int, cids: tuple[int, ...],
+                 label: Hashable, owner) -> None:
+        self.lit = lit
+        self.cids = cids
+        self.labels: set = {label}
+        self.owner = owner
+
+
+class SharedComparatorTables:
+    """Session-scoped comparator registry (``emm_cross_mem_share``).
+
+    Owned by :class:`repro.bmc.session.EncodingSession` and handed to
+    every memory's :class:`AddrComparator`: comparators with the same
+    booking class (``hit_counter`` name) resolve against one shared
+    table keyed on canonical SAT-literal tuples, so structurally
+    identical address comparisons are encoded once *across* memories.
+    Hits whose entry was founded by a different memory are counted in
+    :attr:`cross_mem_hits` (and the calling memory's
+    ``EmmCounters.cross_mem_cmp_hits``).
+    """
+
+    __slots__ = ("_tables", "cross_mem_hits")
+
+    def __init__(self) -> None:
+        self._tables: dict[str, dict] = {}
+        self.cross_mem_hits = 0
+
+    def table(self, booking_class: str) -> dict:
+        """The shared key->entry table for one consumer booking class."""
+        return self._tables.setdefault(booking_class, {})
+
+
 class AddrComparator:
-    """Per-memory cache of address-equality indicator literals.
+    """Cache of address-equality indicator literals (one per memory,
+    optionally resolving against a session-shared registry).
 
     Parameters
     ----------
@@ -73,26 +127,41 @@ class AddrComparator:
         Names of the counter attributes bumped on cache hits / folds.
         A consumer whose clause counters must stay independent of other
         consumers (the race monitor vs the forwarding chain) gets its
-        *own* comparator instance with its own counter names — sharing
-        a cache across differently-booked consumers would let whichever
-        runs first steal the clause booking from the other.
+        *own* comparator instance with its own counter names — the
+        ``hit_counter`` name doubles as the registry booking class, so
+        differently-booked consumers never share a table and neither
+        can steal the clause booking from the other.
+    registry, owner:
+        With a :class:`SharedComparatorTables` registry the cache table
+        is shared across all comparators of the same booking class
+        (cross-memory sharing; hits join the caller's label, see the
+        module docstring); ``owner`` names this consumer (the memory)
+        for cross-memory hit attribution.  Without a registry the table
+        is private — the historical per-memory scope.
     """
 
     __slots__ = ("solver", "emitter", "cache", "fold", "hit_counter",
-                 "fold_counter", "_table")
+                 "fold_counter", "owner", "_registry", "_table")
 
     def __init__(self, solver: Solver, emitter: CnfEmitter,
                  cache: bool = True, fold: bool = True,
                  hit_counter: str = "addr_eq_cache_hits",
-                 fold_counter: str = "addr_eq_folded") -> None:
+                 fold_counter: str = "addr_eq_folded",
+                 registry: Optional[SharedComparatorTables] = None,
+                 owner: Optional[str] = None) -> None:
         self.solver = solver
         self.emitter = emitter
         self.cache = cache
         self.fold = fold
         self.hit_counter = hit_counter
         self.fold_counter = fold_counter
-        #: canonical (tuple, tuple) key -> E literal
-        self._table: dict[tuple[tuple[int, ...], tuple[int, ...]], int] = {}
+        self.owner = owner
+        self._registry = registry
+        #: canonical (tuple, tuple) key -> _CacheEntry; shared across
+        #: same-booking-class comparators when a registry is given.
+        self._table: dict[tuple[tuple[int, ...], tuple[int, ...]],
+                          _CacheEntry] = (registry.table(hit_counter)
+                                          if registry is not None else {})
 
     # -- public API -----------------------------------------------------
 
@@ -102,19 +171,30 @@ class AddrComparator:
 
         Clauses are booked into ``getattr(c, counter)``; cache hits and
         folds bump the counters named by ``hit_counter``/``fold_counter``.
+        A hit under a label the entry has not served yet joins it onto
+        the entry's clauses, so unsat cores attribute the comparator to
+        every consumer (PBA multi-label soundness — module docstring).
         """
         if len(a_bits) != len(b_bits):
             raise ValueError("address words differ in width")
         ta, tb = tuple(a_bits), tuple(b_bits)
         key = (ta, tb) if ta <= tb else (tb, ta)
         if self.cache:
-            got = self._table.get(key)
-            if got is not None:
+            entry = self._table.get(key)
+            if entry is not None:
                 setattr(c, self.hit_counter, getattr(c, self.hit_counter) + 1)
-                return got
-        e = self._encode(ta, tb, label, c, counter)
+                if label not in entry.labels:
+                    for cid in entry.cids:
+                        self.solver.add_label(cid, label)
+                    entry.labels.add(label)
+                if self._registry is not None and entry.owner != self.owner:
+                    self._registry.cross_mem_hits += 1
+                    c.cross_mem_cmp_hits += 1
+                return entry.lit
+        cids: list[int] = []
+        e = self._encode(ta, tb, label, c, counter, cids)
         if self.cache:
-            self._table[key] = e
+            self._table[key] = _CacheEntry(e, tuple(cids), label, self.owner)
         return e
 
     def eq_const(self, addr: list[int], value: int, label: Hashable,
@@ -163,7 +243,8 @@ class AddrComparator:
         return self.emitter.const_value(lit)
 
     def _encode(self, ta: tuple[int, ...], tb: tuple[int, ...],
-                label: Hashable, c, counter: str) -> int:
+                label: Hashable, c, counter: str,
+                cids: Optional[list[int]] = None) -> int:
         em = self.emitter
         if self.fold:
             sym_pairs: list[tuple[int, int]] = []  # both sides symbolic
@@ -197,15 +278,15 @@ class AddrComparator:
         closing = []
         for a, b in sym_pairs:
             e_i = self._new_var(c)
-            self._clause([-e_total, a, -b], label, c, counter)
-            self._clause([-e_total, -a, b], label, c, counter)
-            self._clause([e_i, a, b], label, c, counter)
-            self._clause([e_i, -a, -b], label, c, counter)
+            self._clause([-e_total, a, -b], label, c, counter, cids)
+            self._clause([-e_total, -a, b], label, c, counter, cids)
+            self._clause([e_i, a, b], label, c, counter, cids)
+            self._clause([e_i, -a, -b], label, c, counter, cids)
             closing.append(-e_i)
         for lit in units:
-            self._clause([-e_total, lit], label, c, counter)
+            self._clause([-e_total, lit], label, c, counter, cids)
             closing.append(-lit)
-        self._clause(closing + [e_total], label, c, counter)
+        self._clause(closing + [e_total], label, c, counter, cids)
         return e_total
 
     def _bump_fold(self, c) -> None:
@@ -215,7 +296,11 @@ class AddrComparator:
         c.vars_added += 1
         return self.solver.new_var()
 
-    def _clause(self, lits: list[int], label: Hashable, c, counter: str) -> None:
+    def _clause(self, lits: list[int], label: Hashable, c, counter: str,
+                cids: Optional[list[int]] = None) -> None:
         setattr(c, counter, getattr(c, counter) + 1)
-        if self.solver.add_clause(lits, label) < 0:
+        cid = self.solver.add_clause(lits, label)
+        if cid < 0:
             c.absorbed += 1
+        elif cids is not None:
+            cids.append(cid)

@@ -18,15 +18,20 @@ Address comparators are produced by a per-memory
 default): structurally recurring (read, write-pair) address comparisons
 return the already-encoded ``E`` literal instead of a fresh ``4m+1``
 clause block, and constant address cones fold to TRUE/FALSE (zero
-clauses) or the ``m+1``-clause const form.  The cache is deliberately
-scoped to this one memory so proof-based abstraction stays sound: every
-clause a cached comparator ever emitted carries an ``("emm", name, *)``
-label of the *same* memory, so unsat cores that reuse a shared
-comparator still attribute it to the right memory.  Hits are counted in
-``EmmCounters.addr_eq_cache_hits`` and folds in
-``EmmCounters.addr_eq_folded``; both are per-frame snapshotted and
-surfaced as ``BmcRunStats.emm_addr_eq_cache_hits`` /
-``emm_addr_eq_folded``.
+clauses) or the ``m+1``-clause const form.  With a session-scoped
+:class:`repro.emm.addrcmp.SharedComparatorTables` registry
+(``cmp_registry``, wired by the encoding session under
+``BmcOptions.emm_cross_mem_share``) the cache spans *all* memories:
+proof-based abstraction stays sound because a cache hit joins the
+calling memory's ``("emm", name, *)`` label onto the entry's clauses
+(per-clause multi-labels, ``Solver.add_label``), so unsat cores through
+a shared comparator attribute it to every memory it served.  Without a
+registry the cache is scoped to this one memory — the historical
+baseline.  Hits are counted in ``EmmCounters.addr_eq_cache_hits`` and
+folds in ``EmmCounters.addr_eq_folded`` (cross-memory hits additionally
+in ``EmmCounters.cross_mem_cmp_hits``); all are per-frame snapshotted
+and surfaced as ``BmcRunStats.emm_addr_eq_cache_hits`` /
+``emm_addr_eq_folded`` / ``cross_mem_cmp_hits``.
 
 The data-race monitor (``check_races=True``) books its clauses into the
 dedicated ``race_addr_eq_clauses`` / ``race_clauses`` / ``race_gates``
@@ -104,6 +109,11 @@ class EmmCounters:
     #: paper-formula counters are independent of ``check_races``)
     race_addr_eq_cache_hits: int = 0
     race_addr_eq_folded: int = 0
+    #: comparator cache hits answered by an entry another memory encoded
+    #: (session-scoped registry, ``emm_cross_mem_share``); a subset of
+    #: ``addr_eq_cache_hits``/``race_addr_eq_cache_hits``, not a clause
+    #: counter — the clauses were booked by the founding memory.
+    cross_mem_cmp_hits: int = 0
     #: AIG/CNF structural-hashing savings attributed to this memory's
     #: constraint construction — fed by the gate encoding and by the
     #: hybrid's AIG-routed back-end (``hybrid_strash``); the raw hybrid
@@ -323,7 +333,8 @@ class EmmMemory:
                  init_registry: Optional[InitReadRegistry] = None,
                  addr_dedup: bool = True,
                  chain_share: bool = True,
-                 hybrid_strash: bool = True) -> None:
+                 hybrid_strash: bool = True,
+                 cmp_registry=None) -> None:
         self.solver = solver
         self.unroller = unroller
         self.emitter = unroller.emitter
@@ -356,7 +367,8 @@ class EmmMemory:
         #: Per-memory comparator cache (see module docstring for why the
         #: scope must not widen past one memory: PBA label attribution).
         self.addr_cmp = AddrComparator(solver, unroller.emitter,
-                                       cache=addr_dedup, fold=addr_dedup)
+                                       cache=addr_dedup, fold=addr_dedup,
+                                       registry=cmp_registry, owner=mem_name)
         #: The race monitor books into dedicated counters, so it gets an
         #: *isolated* comparator: sharing the forwarding cache would let
         #: whichever consumer encodes a pair first steal the clause
@@ -364,7 +376,8 @@ class EmmMemory:
         self.race_cmp = AddrComparator(solver, unroller.emitter,
                                        cache=addr_dedup, fold=addr_dedup,
                                        hit_counter="race_addr_eq_cache_hits",
-                                       fold_counter="race_addr_eq_folded")
+                                       fold_counter="race_addr_eq_folded",
+                                       registry=cmp_registry, owner=mem_name)
         self._writes: list[list[PortSignals]] = []  # [frame][write_port]
         #: Fall-through read registry; *shared across memories* when this
         #: memory is in a shared-initial-state group (the miter case:

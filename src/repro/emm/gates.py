@@ -83,7 +83,8 @@ class GateEmmMemory:
                  init_registry: Optional[InitReadRegistry] = None,
                  addr_dedup: bool = True,
                  chain_share: bool = True,
-                 hybrid_strash: bool = True) -> None:
+                 hybrid_strash: bool = True,
+                 cmp_registry=None) -> None:
         # ``hybrid_strash`` is accepted for constructor parity with the
         # hybrid encoder (the engine passes one kwarg set to whichever
         # class the options select); this encoding is always AIG-routed.
@@ -108,10 +109,12 @@ class GateEmmMemory:
                              "a_meminit")
         self.counters = EmmCounters()
         #: CNF-side comparator cache for the equation-(6) consistency
-        #: pairs; per memory, like the hybrid encoder's (the AIG side of
-        #: this encoding already structurally hashes its eq cones).
+        #: pairs; per memory like the hybrid encoder's, or session-shared
+        #: through ``cmp_registry`` (the AIG side of this encoding
+        #: already structurally hashes its eq cones across memories).
         self.addr_cmp = AddrComparator(solver, unroller.emitter,
-                                       cache=addr_dedup, fold=addr_dedup)
+                                       cache=addr_dedup, fold=addr_dedup,
+                                       registry=cmp_registry, owner=mem_name)
         self.chain_share = chain_share
         self._merge_init = chain_share and init_consistency
         #: Declared-init signature scoping the merge index (see

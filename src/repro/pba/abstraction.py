@@ -59,6 +59,10 @@ class PbaPhase:
     cex_result: Optional[BmcResult] = None
     #: Per-kept-memory read ports retained (Section 4.3 port abstraction).
     kept_read_ports: dict = field(default_factory=dict)
+    #: Unlabelled clauses seen in the source run's cores
+    #: (``BmcRunStats.core_unlabeled``); nonzero means the reason lists
+    #: are incomplete and deletion-based minimization must refuse.
+    core_unlabeled: int = 0
 
 
 @dataclass
@@ -95,16 +99,20 @@ def run_pba_phase(design: Design, property_name: str,
     result = engine.run(stop_check=stable_enough)
     reasons = result.latch_reasons
     mem_reasons = result.memory_reasons
+    unlabeled = result.stats.core_unlabeled
     if result.status == CEX:
         return _phase_from(design, reasons, mem_reasons, stable=False,
-                           stable_depth=result.depth, t0=t0, cex=result)
+                           stable_depth=result.depth, t0=t0, cex=result,
+                           core_unlabeled=unlabeled)
     stable_at = _stability_point(reasons, stability_depth)
     if stable_at is None:
         # Bound hit without stabilising: use the final set, flag unstable.
         return _phase_from(design, reasons, mem_reasons, stable=False,
-                           stable_depth=len(reasons) - 1, t0=t0)
+                           stable_depth=len(reasons) - 1, t0=t0,
+                           core_unlabeled=unlabeled)
     return _phase_from(design, reasons, mem_reasons, stable=True,
-                       stable_depth=stable_at, t0=t0)
+                       stable_depth=stable_at, t0=t0,
+                       core_unlabeled=unlabeled)
 
 
 def _stability_point(reasons: list[frozenset[str]],
@@ -125,7 +133,8 @@ def _stability_point(reasons: list[frozenset[str]],
 def _phase_from(design: Design, reasons: list[frozenset[str]],
                 mem_reasons: list[frozenset[str]], stable: bool,
                 stable_depth: int, t0: float,
-                cex: Optional[BmcResult] = None) -> PbaPhase:
+                cex: Optional[BmcResult] = None,
+                core_unlabeled: int = 0) -> PbaPhase:
     # A counterexample run has reason entries only for the depths whose
     # falsification check was UNSAT; clamp into range.
     index = min(stable_depth, len(reasons) - 1)
@@ -169,6 +178,7 @@ def _phase_from(design: Design, reasons: list[frozenset[str]],
         wall_time_s=time.monotonic() - t0,
         cex_result=cex,
         kept_read_ports=kept_ports,
+        core_unlabeled=core_unlabeled,
     )
 
 
@@ -205,7 +215,8 @@ def verify_with_pba(design: Design, property_name: str,
             depth=phase.stable_depth, options=base,
             kept_memories=phase.kept_memories,
             kept_read_ports=phase.kept_read_ports,
-            granularity=minimize)
+            granularity=minimize,
+            core_unlabeled=phase.core_unlabeled)
         kept_bits = sum(design.latches[n].width for n in minimization.latches)
         phase = replace(
             phase,

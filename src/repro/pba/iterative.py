@@ -82,6 +82,11 @@ def iterative_abstraction(design: Design, property_name: str,
             out.proof_result = phase.cex_result
             out.wall_time_s = time.monotonic() - t0
             return out
+        if phase.core_unlabeled:
+            # An unlabelled core clause means the round's reason list is
+            # not exhaustive — tightening the model on it could free a
+            # latch the proof actually used.  Keep the current model.
+            break
         new_latches = phase.latch_reasons
         if kept_latches is not None and new_latches == kept_latches:
             out.converged = True

@@ -70,15 +70,28 @@ def minimize_reasons(design: Design, property_name: str,
                      kept_memories: Optional[frozenset[str]] = None,
                      kept_read_ports: Optional[dict] = None,
                      granularity: str = "memory",
+                     core_unlabeled: int = 0,
                      ) -> MinimizationResult:
     """Shrink ``latch_reasons`` by attempted deletion at ``depth``.
 
     ``granularity`` is ``"memory"`` (drop whole memory modules — cheap,
     usually all Table 2 needs), ``"latch"`` (drop latches one by one), or
     ``"both"`` (memories first, then remaining latches).
+
+    ``core_unlabeled`` is the source run's
+    ``BmcRunStats.core_unlabeled``: deletion-based shrinking treats the
+    reason list as *exhaustive* (anything outside it is assumed safe to
+    try deleting), which only holds if every core clause carried a
+    provenance label.  A nonzero count is refused rather than silently
+    minimized on incomplete reasons.
     """
     if granularity not in ("memory", "latch", "both"):
         raise ValueError(f"unknown granularity {granularity!r}")
+    if core_unlabeled:
+        raise ValueError(
+            f"reason list is not exhaustive: {core_unlabeled} core "
+            "clause(s) carried no provenance label "
+            "(see BmcRunStats.core_unlabeled)")
     base = options or BmcOptions()
     latches = set(latch_reasons)
     memories = set(kept_memories if kept_memories is not None

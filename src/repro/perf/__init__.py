@@ -15,8 +15,22 @@ and is off by default: the engine flips it on under
 from __future__ import annotations
 
 import resource
+import sys
 import time
 from contextlib import contextmanager
+
+
+def peak_rss_mb() -> float:
+    """Lifetime peak resident-set size of this process in MiB.
+
+    ``ru_maxrss`` is kibibytes on Linux but *bytes* on macOS — scale by
+    platform or the figure (and everything gated on it, like
+    ``mem_quota_mb`` via the :func:`current_rss_mb` fallback) is off by
+    1024x off-Linux.  The divisor is computed per call so tests can
+    monkeypatch ``sys.platform``.
+    """
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / divisor
 
 
 def current_rss_mb() -> float:
@@ -34,7 +48,7 @@ def current_rss_mb() -> float:
             resident_pages = int(f.read().split()[1])
         return resident_pages * resource.getpagesize() / (1024.0 * 1024.0)
     except (OSError, ValueError, IndexError):
-        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        return peak_rss_mb()
 
 
 class PhaseTimers:

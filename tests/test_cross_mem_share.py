@@ -1,0 +1,197 @@
+"""Cross-memory comparator sharing (``BmcOptions.emm_cross_mem_share``).
+
+The session-scoped :class:`repro.emm.addrcmp.SharedComparatorTables`
+registry lets two memories whose address cones lower to the same SAT
+literals share one comparator encoding.  Soundness rests on per-clause
+multi-labels: a hit joins the calling memory's label onto the entry's
+clauses, so an unsat core through a shared comparator names *both*
+memories.  These tests pin the registry mechanics, the label joining,
+the PBA attribution end to end, and the booking-class isolation of the
+race monitor.
+"""
+
+import pytest
+
+from repro.aig import Aig, CnfEmitter
+from repro.bmc import BmcOptions, verify
+from repro.bmc.engine import BmcEngine
+from repro.design import Design
+from repro.emm import AddrComparator, EmmCounters, SharedComparatorTables
+from repro.sat import Solver
+
+
+def two_mem_design(same_cones=True, init=0):
+    """Two memories read/written through shared input-driven cones.
+
+    With ``same_cones`` both memories compare the *same* (waddr, raddr)
+    literal tuples, so a session registry answers the second memory's
+    comparators from the first's cache entries.  ``init=None`` gives
+    both memories arbitrary initial state, which is what puts CNF-side
+    eq-(6) comparators on the gate encoding's path.
+    """
+    d = Design("two")
+    ra = d.input("ra", 3)
+    wa = d.input("wa", 3)
+    wd = d.input("wd", 4)
+    we = d.input("we", 1)
+    outs = []
+    for name in ("ma", "mb"):
+        mem = d.memory(name, addr_width=3, data_width=4, init=init)
+        mem.write(0).connect(addr=wa, data=wd, en=we)
+        rd = mem.read(0).connect(addr=ra if same_cones else wa, en=1)
+        out = d.latch(f"o_{name}", 4, init=0)
+        out.next = rd
+        outs.append(out.expr)
+    d.invariant("agree", outs[0].eq(outs[1]))
+    d.reach("differ", ~outs[0].eq(outs[1]))
+    return d
+
+
+def fresh_cmp_pair(registry, **kw):
+    """Two comparators for different memories over one solver/registry."""
+    solver = Solver()
+    em = CnfEmitter(solver, Aig())
+    ca, cb = EmmCounters(), EmmCounters()
+    a = AddrComparator(solver, em, registry=registry, owner="ma", **kw)
+    b = AddrComparator(solver, em, registry=registry, owner="mb", **kw)
+    return solver, a, b, ca, cb
+
+
+def word(solver, m):
+    return [solver.new_var() for _ in range(m)]
+
+
+class TestRegistry:
+    def test_cross_memory_hit_returns_same_literal(self):
+        reg = SharedComparatorTables()
+        solver, a, b, ca, cb = fresh_cmp_pair(reg)
+        x, y = word(solver, 3), word(solver, 3)
+        ea = a.eq(x, y, ("emm", "ma", "addr_eq"), ca, "addr_eq_clauses")
+        eb = b.eq(x, y, ("emm", "mb", "addr_eq"), cb, "addr_eq_clauses")
+        assert ea == eb
+        assert cb.addr_eq_cache_hits == 1 and cb.addr_eq_clauses == 0
+        assert cb.cross_mem_cmp_hits == 1
+        assert ca.cross_mem_cmp_hits == 0
+        assert reg.cross_mem_hits == 1
+
+    def test_same_memory_hit_not_counted_cross(self):
+        reg = SharedComparatorTables()
+        solver, a, __, ca, __cb = fresh_cmp_pair(reg)
+        x, y = word(solver, 3), word(solver, 3)
+        a.eq(x, y, ("emm", "ma", "addr_eq"), ca, "addr_eq_clauses")
+        a.eq(x, y, ("emm", "ma", "addr_eq"), ca, "addr_eq_clauses")
+        assert ca.addr_eq_cache_hits == 1
+        assert ca.cross_mem_cmp_hits == 0
+        assert reg.cross_mem_hits == 0
+
+    def test_hit_joins_label_onto_clauses(self):
+        """Force the shared comparator into an unsat core: it must carry
+        both memories' labels after the second consumer's hit."""
+        reg = SharedComparatorTables()
+        solver, a, b, ca, cb = fresh_cmp_pair(reg)
+        x, y = word(solver, 2), word(solver, 2)
+        e = a.eq(x, y, ("emm", "ma", "addr_eq"), ca, "addr_eq_clauses")
+        b.eq(x, y, ("emm", "mb", "addr_eq"), cb, "addr_eq_clauses")
+        # E asserted with unequal words: UNSAT through comparator clauses.
+        solver.add_clause([x[0]], ("pin",))
+        solver.add_clause([-y[0]], ("pin",))
+        assert not solver.solve(assumptions=[e]).sat
+        labels = solver.core_labels()
+        assert ("emm", "ma", "addr_eq") in labels
+        assert ("emm", "mb", "addr_eq") in labels
+        assert solver.core_unlabeled_count() == 0
+
+    def test_booking_classes_isolated(self):
+        """Race-class comparators never see forwarding-class entries."""
+        reg = SharedComparatorTables()
+        solver = Solver()
+        em = CnfEmitter(solver, Aig())
+        c = EmmCounters()
+        fwd = AddrComparator(solver, em, registry=reg, owner="ma")
+        race = AddrComparator(solver, em, registry=reg, owner="ma",
+                              hit_counter="race_addr_eq_cache_hits",
+                              fold_counter="race_addr_eq_folded")
+        x, y = word(solver, 3), word(solver, 3)
+        fwd.eq(x, y, ("emm", "ma", "addr_eq"), c, "addr_eq_clauses")
+        race.eq(x, y, ("emm", "ma", "race"), c, "race_addr_eq_clauses")
+        # Second encoding, not a hit: the tables are per booking class.
+        assert c.addr_eq_cache_hits == 0
+        assert c.race_addr_eq_cache_hits == 0
+        assert c.race_addr_eq_clauses > 0
+        assert fwd.size == 1 and race.size == 1
+
+    def test_no_registry_keeps_per_memory_scope(self):
+        solver, a, b, ca, cb = fresh_cmp_pair(None)
+        x, y = word(solver, 3), word(solver, 3)
+        a.eq(x, y, ("emm", "ma", "addr_eq"), ca, "addr_eq_clauses")
+        b.eq(x, y, ("emm", "mb", "addr_eq"), cb, "addr_eq_clauses")
+        assert cb.addr_eq_cache_hits == 0  # re-encoded, private table
+        assert cb.addr_eq_clauses > 0
+        assert cb.cross_mem_cmp_hits == 0
+
+
+class TestEndToEnd:
+    # The gate encoding's AIG side already strash-shares across
+    # memories; its CNF comparators only appear on eq-(6) paths, so it
+    # is exercised with arbitrary-init memories (symbolic init).
+    @pytest.mark.parametrize("encoding,init", [("hybrid", 0),
+                                               ("hybrid", None),
+                                               ("gates", None)])
+    def test_sharing_shrinks_the_encoding(self, encoding, init):
+        d = two_mem_design(init=init)
+        sizes, statuses = {}, {}
+        for share in (True, False):
+            r = verify(d, "agree",
+                       BmcOptions(max_depth=6, find_proof=(init is None),
+                                  emm_encoding=encoding,
+                                  emm_cross_mem_share=share))
+            sizes[share] = r.stats.sat_clauses + r.stats.sat_vars
+            statuses[share] = (r.status, r.depth)
+            if share:
+                assert r.stats.cross_mem_cmp_hits > 0
+            else:
+                assert r.stats.cross_mem_cmp_hits == 0
+        assert statuses[True] == statuses[False]
+        assert sizes[True] < sizes[False]
+
+    def test_verdict_and_trace_parity(self):
+        d = two_mem_design(same_cones=False)
+        results = [verify(d, "differ",
+                          BmcOptions(max_depth=6, emm_cross_mem_share=s))
+                   for s in (True, False)]
+        on, off = results
+        assert on.status == off.status
+        assert on.depth == off.depth
+        assert on.trace_validated == off.trace_validated
+
+    def test_pba_core_names_both_memories(self):
+        """The headline regression: a PBA core through a comparator both
+        memories share must attribute it to both — under per-memory
+        scoping it trivially did, under cross-memory sharing only the
+        label joining makes it so."""
+        d = two_mem_design()
+        for share in (True, False):
+            opts = BmcOptions(max_depth=6, pba=True, find_proof=False,
+                              emm_cross_mem_share=share)
+            eng = BmcEngine(d, "agree", opts)
+            r = eng.run()
+            assert r.status == "bounded"
+            assert r.memory_reasons, (share, "no PBA reasons collected")
+            assert r.memory_reasons[-1] == frozenset({"ma", "mb"}), share
+            assert r.stats.core_unlabeled == 0
+
+    def test_encoding_key_distinguishes_share(self):
+        on = BmcOptions(emm_cross_mem_share=True)
+        off = BmcOptions(emm_cross_mem_share=False)
+        assert on.encoding_key() != off.encoding_key()
+
+    def test_session_registry_gated_on_dedup(self):
+        from repro.bmc.session import EncodingSession
+
+        d = two_mem_design()
+        with_dedup = EncodingSession(d, BmcOptions())
+        no_dedup = EncodingSession(d, BmcOptions(emm_addr_dedup=False))
+        no_share = EncodingSession(d, BmcOptions(emm_cross_mem_share=False))
+        assert with_dedup.cmp_registry is not None
+        assert no_dedup.cmp_registry is None
+        assert no_share.cmp_registry is None

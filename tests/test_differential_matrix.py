@@ -31,7 +31,7 @@ from repro.bmc import BmcOptions, verify, verify_many
 from repro.casestudies.cache import CacheParams, build_cache
 from repro.casestudies.fifo import FifoParams, build_fifo
 from repro.casestudies.stack_machine import StackMachineParams, build_stack_machine
-from repro.design import Design, expand_memories
+from repro.design import Design, build_miter, expand_memories
 from repro.sim import Stimulus, default_oracle
 
 #: The option axes of the matrix, as BmcOptions kwargs.  The raw hybrid
@@ -171,6 +171,69 @@ def test_random_netlists_full_matrix_nightly(seed):
     oracle = falsify(expand_memories(design), prop, depth, use_emm=False)
     results = run_matrix(design, prop, depth, FULL_MATRIX)
     assert_oracle_parity(results, oracle, seed, design=design, prop=prop)
+
+
+# ---------------------------------------------------------------------------
+# Two-memory miters: cross-memory comparator sharing on/off.
+# ---------------------------------------------------------------------------
+
+
+def miter_netlist(seed, twist=False):
+    """Miter of two copies of ``random_netlist(seed)`` — a randomized
+    *two-memory* design whose ``a::m``/``b::m`` copies see identical
+    address cones wherever the cone is input- or constant-driven, the
+    workload cross-memory comparator sharing is built for.  ``twist``
+    pairs read port 0 against read port 1 (different address cones), so
+    the ``equiv`` property gets a falsifiable branch too.
+    """
+    a, __ = random_netlist(seed)
+    b, __ = random_netlist(seed)
+    ra = a.memories["m"].read(0).data
+    rb = b.memories["m"].read(1 if twist else 0).data
+    return build_miter(a, b, [(ra, rb)])
+
+
+#: Everything-on combos with the cross-memory registry toggled — the
+#: sharing must be invisible to every observable outcome.
+CROSS_MEM_COMBOS = [dict(dict.fromkeys(OPTION_AXES, True),
+                         emm_cross_mem_share=share)
+                    for share in (True, False)]
+
+
+@pytest.mark.parametrize("twist", [False, True], ids=["same", "twist"])
+@pytest.mark.parametrize("seed", range(4))
+def test_two_memory_miters_match_explicit_oracle(seed, twist):
+    design = miter_netlist(seed, twist)
+    depth = 4
+    oracle = falsify(expand_memories(design), "equiv", depth, use_emm=False)
+    results = run_matrix(design, "equiv", depth, CROSS_MEM_COMBOS)
+    assert_oracle_parity(results, oracle, (seed, twist), design=design,
+                         prop="equiv")
+
+
+@pytest.mark.parametrize("encoding", ["hybrid", "gates"])
+@pytest.mark.parametrize("seed", [0, 2])
+def test_miter_pba_reasons_invariant_across_share(seed, encoding):
+    """PBA latch/memory reasons must not depend on whether comparator
+    clauses were shared across the miter's memory copies — the
+    multi-label joining is exactly what keeps the shared clause
+    attributed to both memories."""
+    design = miter_netlist(seed)
+    runs = prove_matrix(design, "equiv", 4, encoding, CROSS_MEM_COMBOS)
+    assert_observable_parity(runs, (seed, encoding))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(4, 8))
+def test_two_memory_miters_full_matrix_nightly(seed):
+    """Nightly row: the full option cross-product x share on/off."""
+    design = miter_netlist(seed)
+    depth = 5
+    oracle = falsify(expand_memories(design), "equiv", depth, use_emm=False)
+    combos = [dict(c, emm_cross_mem_share=share)
+              for c in FULL_MATRIX for share in (True, False)]
+    results = run_matrix(design, "equiv", depth, combos)
+    assert_oracle_parity(results, oracle, seed, design=design, prop="equiv")
 
 
 # ---------------------------------------------------------------------------

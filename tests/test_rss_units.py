@@ -1,0 +1,81 @@
+"""Platform scaling of ``ru_maxrss`` (repro.perf).
+
+``getrusage().ru_maxrss`` is kibibytes on Linux but *bytes* on macOS;
+``peak_rss_mb`` must scale per platform or the reported peak — and the
+``mem_quota_mb`` degradation gated on the ``current_rss_mb`` fallback —
+is off by 1024x off-Linux.
+"""
+
+import builtins
+import resource
+
+import pytest
+
+import repro.perf as perf
+
+
+class FakeUsage:
+    def __init__(self, ru_maxrss):
+        self.ru_maxrss = ru_maxrss
+
+
+@pytest.fixture
+def fake_rusage(monkeypatch):
+    def set_maxrss(value):
+        monkeypatch.setattr(resource, "getrusage",
+                            lambda who: FakeUsage(value))
+    return set_maxrss
+
+
+class TestPeakRss:
+    def test_linux_kib(self, monkeypatch, fake_rusage):
+        monkeypatch.setattr(perf.sys, "platform", "linux")
+        fake_rusage(512 * 1024)  # 512 MiB in KiB
+        assert perf.peak_rss_mb() == pytest.approx(512.0)
+
+    def test_macos_bytes(self, monkeypatch, fake_rusage):
+        monkeypatch.setattr(perf.sys, "platform", "darwin")
+        fake_rusage(512 * 1024 * 1024)  # 512 MiB in bytes
+        assert perf.peak_rss_mb() == pytest.approx(512.0)
+
+    def test_platforms_agree_on_the_same_footprint(self, monkeypatch,
+                                                   fake_rusage):
+        monkeypatch.setattr(perf.sys, "platform", "linux")
+        fake_rusage(64 * 1024)
+        linux = perf.peak_rss_mb()
+        monkeypatch.setattr(perf.sys, "platform", "darwin")
+        fake_rusage(64 * 1024 * 1024)
+        assert perf.peak_rss_mb() == pytest.approx(linux)
+
+    def test_engine_reports_sane_peak(self):
+        """End-to-end: the stats peak on this platform is plausible for a
+        python process, not off by 1024x in either direction."""
+        from repro.bmc import BmcOptions, verify
+        from repro.design import Design
+
+        d = Design("t")
+        x = d.latch("x", 2, init=0)
+        x.next = x.expr + 1
+        d.invariant("p", x.expr.eq(x.expr))
+        r = verify(d, "p", BmcOptions(max_depth=2))
+        assert 1.0 < r.stats.peak_rss_mb < 100_000.0
+
+
+class TestCurrentRssFallback:
+    def test_statm_path_monkeypatched_away(self, monkeypatch, fake_rusage):
+        """Without /proc/self/statm the current-RSS poll falls back to the
+        platform-scaled rusage peak."""
+        real_open = builtins.open
+
+        def no_statm(path, *a, **kw):
+            if path == "/proc/self/statm":
+                raise OSError("no procfs")
+            return real_open(path, *a, **kw)
+
+        monkeypatch.setattr(builtins, "open", no_statm)
+        monkeypatch.setattr(perf.sys, "platform", "linux")
+        fake_rusage(256 * 1024)
+        assert perf.current_rss_mb() == pytest.approx(256.0)
+        monkeypatch.setattr(perf.sys, "platform", "darwin")
+        fake_rusage(256 * 1024 * 1024)
+        assert perf.current_rss_mb() == pytest.approx(256.0)
